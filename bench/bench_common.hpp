@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table bench harnesses: common CLI
+ * flags (--accesses, --seed, --quick, --csv) and run helpers.
+ */
+#ifndef ARTMEM_BENCH_COMMON_HPP
+#define ARTMEM_BENCH_COMMON_HPP
+
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace artmem::bench {
+
+/** Flags every harness accepts. */
+struct BenchOptions {
+    std::uint64_t accesses = 8000000;
+    std::uint64_t seed = 42;
+    bool csv = false;
+
+    static BenchOptions
+    parse(int argc, char** argv, std::uint64_t default_accesses = 8000000)
+    {
+        const auto args = CliArgs::parse(argc, argv);
+        BenchOptions opt;
+        opt.accesses = static_cast<std::uint64_t>(
+            args.get_int("accesses", static_cast<long long>(
+                                         default_accesses)));
+        if (args.get_bool("quick", false))
+            opt.accesses /= 4;
+        opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+        opt.csv = args.get_bool("csv", false);
+        return opt;
+    }
+};
+
+/** Print a finished table in the selected format. */
+inline void
+emit(Table& table, const BenchOptions& opt)
+{
+    if (opt.csv)
+        table.print_csv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+/** Build a RunSpec with the harness-wide defaults applied. */
+inline sim::RunSpec
+make_spec(const BenchOptions& opt, std::string workload, std::string policy,
+          sim::RatioSpec ratio)
+{
+    sim::RunSpec spec;
+    spec.workload = std::move(workload);
+    spec.policy = std::move(policy);
+    spec.ratio = ratio;
+    spec.accesses = opt.accesses;
+    spec.seed = opt.seed;
+    return spec;
+}
+
+}  // namespace artmem::bench
+
+#endif  // ARTMEM_BENCH_COMMON_HPP

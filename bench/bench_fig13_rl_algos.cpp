@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 13 + Section 6.3.5 reproduction: Q-learning vs SARSA inside
+ * ArtMem. Four workload scenarios x six memory ratios; normalized
+ * improvement over static tiering, averaged per workload. Paper
+ * finding: the two algorithms perform similarly.
+ */
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace artmem;
+    using namespace artmem::bench;
+    const auto opt = BenchOptions::parse(argc, argv, 4000000);
+
+    const std::vector<std::string> workloads = {"s1", "ycsb", "xsbench",
+                                                "cc"};
+    const auto ratios = sim::paper_ratios();
+
+    std::cout << "Figure 13: Q-learning vs SARSA (speedup over static, "
+                 "averaged across the six ratios)\naccesses="
+              << opt.accesses << " seed=" << opt.seed << "\n\n";
+
+    Table table({"workload", "q-learning", "sarsa"});
+    for (const auto& workload : workloads) {
+        auto& row = table.row().cell(workload);
+        for (const auto algo :
+             {rl::Algorithm::kQLearning, rl::Algorithm::kSarsa}) {
+            OnlineStats speedup;
+            for (const auto& ratio : ratios) {
+                auto static_spec = make_spec(opt, workload, "static", ratio);
+                const auto base = sim::run_experiment(static_spec);
+                core::ArtMemConfig cfg;
+                cfg.seed = opt.seed;
+                cfg.agent.algorithm = algo;
+                auto policy = sim::make_artmem(cfg);
+                auto spec = make_spec(opt, workload, "artmem", ratio);
+                const auto r = sim::run_experiment(spec, *policy);
+                speedup.add(static_cast<double>(base.runtime_ns) /
+                            static_cast<double>(r.runtime_ns));
+            }
+            row.cell(speedup.mean(), 3);
+        }
+    }
+    emit(table, opt);
+    std::cout << "\nExpected: both columns close to each other "
+                 "(paper: similar performance).\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 14 + Section 6.3.6 reproduction: sensitivity of the RL model
+ * to its training data. Each of five applications is run once to
+ * convergence and its Q-tables captured; every (train, eval) pair is
+ * then evaluated by running the eval workload starting from the train
+ * workload's tables. Cells show % runtime degradation relative to
+ * self-training. Paper: only 7 of 25 combinations degrade > 10%.
+ */
+#include <sstream>
+
+#include "bench_common.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace artmem;
+    using namespace artmem::bench;
+    const auto opt = BenchOptions::parse(argc, argv, 4000000);
+
+    const std::vector<std::string> apps = {"liblinear", "ycsb", "cc",
+                                           "xsbench", "btree"};
+
+    std::cout << "Figure 14: Q-table cross-training robustness "
+                 "(% runtime degradation vs self-trained; 1:2 ratio)\n"
+              << "accesses=" << opt.accesses << " seed=" << opt.seed
+              << "\n\n";
+
+    // Phase 1: train per app, capture converged Q-tables.
+    std::vector<std::string> tables;
+    for (const auto& app : apps) {
+        core::ArtMemConfig cfg;
+        cfg.seed = opt.seed;
+        auto policy = sim::make_artmem(cfg);
+        auto spec = make_spec(opt, app, "artmem", {1, 2});
+        sim::run_experiment(spec, *policy);
+        std::ostringstream os;
+        policy->save_qtables(os);
+        tables.push_back(os.str());
+    }
+
+    // Phase 2: evaluate every (train, eval) pair.
+    std::vector<std::string> headers = {"train \\ eval"};
+    for (const auto& app : apps)
+        headers.push_back(app);
+    Table table(std::move(headers));
+
+    std::vector<double> self(apps.size(), 0.0);
+    std::vector<std::vector<double>> runtime(
+        apps.size(), std::vector<double>(apps.size(), 0.0));
+    for (std::size_t train = 0; train < apps.size(); ++train) {
+        for (std::size_t eval = 0; eval < apps.size(); ++eval) {
+            core::ArtMemConfig cfg;
+            cfg.seed = opt.seed;
+            auto policy = sim::make_artmem(cfg);
+            policy->set_pretrained_qtables(tables[train]);
+            auto spec = make_spec(opt, apps[eval], "artmem", {1, 2});
+            runtime[train][eval] = static_cast<double>(
+                sim::run_experiment(spec, *policy).runtime_ns);
+        }
+    }
+    for (std::size_t eval = 0; eval < apps.size(); ++eval)
+        self[eval] = runtime[eval][eval];
+
+    int above_10 = 0;
+    for (std::size_t train = 0; train < apps.size(); ++train) {
+        auto& row = table.row().cell(apps[train]);
+        for (std::size_t eval = 0; eval < apps.size(); ++eval) {
+            const double degradation =
+                (runtime[train][eval] / self[eval] - 1.0) * 100.0;
+            if (train != eval && degradation > 10.0)
+                ++above_10;
+            row.cell(degradation, 1);
+        }
+    }
+    emit(table, opt);
+    std::cout << "\nCombinations degrading more than 10%: " << above_10
+              << " of " << apps.size() * (apps.size() - 1)
+              << " cross pairs (paper: 7 of 25 incl. diagonal)\n";
+    return 0;
+}

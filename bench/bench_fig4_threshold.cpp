@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 4 reproduction: MEMTIS's DRAM-capacity-derived hotness
+ * threshold vs a manually tuned threshold, on Liblinear and XSBench —
+ * (a) migration volume, (b) normalized runtime. The paper's manual
+ * tuning reduced Liblinear migrations dramatically and improved
+ * performance by 47% (Liblinear) and 42% (XSBench).
+ */
+#include "bench_common.hpp"
+#include "policies/memtis.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace artmem;
+    using namespace artmem::bench;
+    const auto opt = BenchOptions::parse(argc, argv, 6000000);
+
+    std::cout << "Figure 4: MEMTIS default (capacity) threshold vs "
+                 "manually tuned threshold (1:2 ratio)\n"
+              << "accesses=" << opt.accesses << " seed=" << opt.seed
+              << "\n\n";
+
+    Table table({"workload", "variant", "threshold", "migrated GiB",
+                 "runtime (ms)", "vs default"});
+
+    for (const std::string workload : {"liblinear", "xsbench"}) {
+        auto spec = make_spec(opt, workload, "memtis", {1, 2});
+        policies::Memtis def;
+        const auto base = sim::run_experiment(spec, def);
+        table.row()
+            .cell(workload)
+            .cell("default")
+            .cell("capacity")
+            .cell(base.migrated_gib(2ull << 20), 2)
+            .cell(base.seconds() * 1e3, 1)
+            .cell(1.0, 2);
+
+        // Manual tuning sweep: count pages of the hottest bins into the
+        // warm bins by raising the threshold (the paper's experiment).
+        double best_runtime = static_cast<double>(base.runtime_ns);
+        std::uint32_t best_threshold = 0;
+        sim::RunResult best = base;
+        for (std::uint32_t threshold : {8u, 16u, 32u, 64u, 128u}) {
+            policies::Memtis::Config cfg;
+            cfg.manual_threshold = threshold;
+            policies::Memtis tuned(cfg);
+            const auto r = sim::run_experiment(spec, tuned);
+            if (static_cast<double>(r.runtime_ns) < best_runtime) {
+                best_runtime = static_cast<double>(r.runtime_ns);
+                best_threshold = threshold;
+                best = r;
+            }
+        }
+        table.row()
+            .cell(workload)
+            .cell("tuned")
+            .cell(std::to_string(best_threshold))
+            .cell(best.migrated_gib(2ull << 20), 2)
+            .cell(best.seconds() * 1e3, 1)
+            .cell(static_cast<double>(base.runtime_ns) /
+                      static_cast<double>(best.runtime_ns),
+                  2);
+    }
+    emit(table, opt);
+    std::cout << "\n'vs default' > 1.0 means the tuned threshold is "
+                 "faster (paper: 1.47x Liblinear, 1.42x XSBench).\n";
+    return 0;
+}

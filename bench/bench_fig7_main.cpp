@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 7 + Table 3 reproduction: the main evaluation. Eight
+ * memory-intensive workloads x six DRAM:PM ratios x the seven baseline
+ * systems plus ArtMem, normalized to AutoNUMA at 1:16 (lower is
+ * better), followed by the paper's summary statistics (average ArtMem
+ * improvement per ratio; headline 35%-172% / 114% average).
+ */
+#include <map>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace artmem;
+    using namespace artmem::bench;
+    const auto opt = BenchOptions::parse(argc, argv, 6000000);
+
+    const auto workloads = workloads::app_workload_names();
+    const std::vector<std::string> systems = {
+        "memtis",     "autotiering", "tpp",      "autonuma",
+        "multiclock", "nimble",      "tiering08", "artmem"};
+    const auto ratios = sim::paper_ratios();
+
+    std::cout << "Table 3 workloads: ";
+    for (auto w : workloads)
+        std::cout << w << " ";
+    std::cout << "\nFigure 7: runtime normalized to AutoNUMA at 1:16 "
+                 "(lower is better)\n"
+              << "accesses=" << opt.accesses << " seed=" << opt.seed
+              << "\n";
+
+    // improvement[ratio] accumulates (baseline / artmem - 1) per system.
+    std::map<std::string, OnlineStats> improvement_by_ratio;
+    OnlineStats improvement_all;
+    std::map<std::string, OnlineStats> improvement_by_system;
+
+    for (const auto workload : workloads) {
+        auto base_spec =
+            make_spec(opt, std::string(workload), "autonuma", {1, 16});
+        const auto base = sim::run_experiment(base_spec);
+        const auto norm = [&](const sim::RunResult& r) {
+            return static_cast<double>(r.runtime_ns) /
+                   static_cast<double>(base.runtime_ns);
+        };
+
+        std::vector<std::string> headers = {"system"};
+        for (const auto& ratio : ratios)
+            headers.push_back(ratio.label());
+        Table table(std::move(headers));
+
+        std::map<std::string, std::vector<double>> results;
+        for (const auto& system : systems) {
+            auto& row = table.row().cell(system);
+            for (const auto& ratio : ratios) {
+                auto spec =
+                    make_spec(opt, std::string(workload), system, ratio);
+                const auto r = sim::run_experiment(spec);
+                const double value = norm(r);
+                results[system].push_back(value);
+                row.cell(value, 3);
+            }
+        }
+        for (std::size_t i = 0; i < ratios.size(); ++i) {
+            const double artmem = results["artmem"][i];
+            for (const auto& system : systems) {
+                if (system == "artmem")
+                    continue;
+                const double gain = results[system][i] / artmem - 1.0;
+                improvement_by_ratio[ratios[i].label()].add(gain);
+                improvement_by_system[system].add(gain);
+                improvement_all.add(gain);
+            }
+        }
+
+        std::cout << "\nWorkload: " << workload << "\n";
+        emit(table, opt);
+    }
+
+    std::cout << "\nSummary: average ArtMem improvement over the seven "
+                 "baselines per DRAM:PM ratio\n"
+              << "(paper: 132%, 124%, 104%, 91%, 72%, 67%)\n";
+    Table summary({"ratio", "avg improvement %"});
+    for (const auto& ratio : ratios) {
+        summary.row()
+            .cell(ratio.label())
+            .cell(improvement_by_ratio[ratio.label()].mean() * 100.0, 1);
+    }
+    emit(summary, opt);
+
+    std::cout << "\nAverage ArtMem improvement per baseline system "
+                 "(paper: 10.4% - 43.65% vs the best baseline; "
+                 "114% on average over all)\n";
+    Table per_system({"baseline", "avg improvement %"});
+    for (const auto& system : systems) {
+        if (system == "artmem")
+            continue;
+        per_system.row().cell(system).cell(
+            improvement_by_system[system].mean() * 100.0, 1);
+    }
+    emit(per_system, opt);
+    std::cout << "\nOverall average improvement: "
+              << format_fixed(improvement_all.mean() * 100.0, 1)
+              << "% (paper: 114%)\n";
+    return 0;
+}

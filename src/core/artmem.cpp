@@ -1,0 +1,339 @@
+#include "core/artmem.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace artmem::core {
+
+using memsim::Tier;
+
+ArtMem::ArtMem() : ArtMem(ArtMemConfig{}) {}
+
+ArtMem::ArtMem(const ArtMemConfig& config) : config_(config)
+{
+    if (config_.k <= 0)
+        fatal("ArtMem: k must be positive");
+    if (config_.migration_sizes_mib.empty() ||
+        config_.migration_sizes_mib.front() != 0) {
+        fatal("ArtMem: migration size action 0 must be 'no migration'");
+    }
+    if (config_.threshold_deltas.empty())
+        fatal("ArtMem: threshold action set must not be empty");
+    if (config_.min_threshold == 0 ||
+        config_.min_threshold > config_.max_threshold) {
+        fatal("ArtMem: invalid threshold clamp range");
+    }
+}
+
+void
+ArtMem::init(memsim::TieredMachine& machine)
+{
+    Policy::init(machine);
+    const std::size_t pages = machine.page_count();
+    bins_ = std::make_unique<stats::EmaBins>(pages, config_.cooling_period);
+    lists_ = std::make_unique<lru::LruLists>(pages);
+    tracker_ = std::make_unique<stats::AccessRatioTracker>(config_.k);
+
+    const int states = state_count();
+    // Derive the exploration streams from the whole configuration, not
+    // just the seed: two variants (e.g. the two reward modes of Section
+    // 6.3.4) would otherwise explore in perfect lockstep and could never
+    // produce different trajectories.
+    std::uint64_t seed_state =
+        config_.seed ^ (static_cast<std::uint64_t>(config_.reward_mode)
+                        << 32);
+    const std::uint64_t seed_a = splitmix64(seed_state);
+    const std::uint64_t seed_b = splitmix64(seed_state);
+    migration_agent_ = std::make_unique<rl::TdAgent>(
+        states, static_cast<int>(config_.migration_sizes_mib.size()),
+        config_.agent, seed_a);
+    threshold_agent_ = std::make_unique<rl::TdAgent>(
+        states, static_cast<int>(config_.threshold_deltas.size()),
+        config_.agent, seed_b);
+
+    // Algorithm 1 line 1: the program loads from DRAM, so the initial
+    // state is k and the no-migration action is primed with Q = 1.
+    migration_agent_->table().at(config_.k, 0) = 1.0;
+    const auto no_delta = std::find(config_.threshold_deltas.begin(),
+                                    config_.threshold_deltas.end(), 0);
+    const int no_delta_action =
+        no_delta == config_.threshold_deltas.end()
+            ? 0
+            : static_cast<int>(no_delta - config_.threshold_deltas.begin());
+    migration_agent_->reset(config_.k, 0);
+    threshold_agent_->reset(config_.k, no_delta_action);
+
+    if (!pretrained_.empty()) {
+        std::istringstream is(pretrained_);
+        load_qtables(is);
+    }
+
+    threshold_ = config_.min_threshold;
+    tau_prev_ = static_cast<double>(config_.k);
+    migrated_last_period_ = 0;
+    last_budget_ = 0;
+    periods_ = 0;
+    cold_scan_cursor_ = 0;
+    latency_ema_ns_ =
+        static_cast<double>(machine.config().tiers[0].load_latency_ns);
+    window_latency_sum_ = 0;
+    window_latency_samples_ = 0;
+    last_migration_busy_ns_ = 0;
+}
+
+void
+ArtMem::on_samples(std::span<const memsim::PebsSample> samples)
+{
+    auto& m = machine();
+    for (const auto& s : samples) {
+        bins_->record(s.page);
+        tracker_->record(s.tier);
+        if (config_.use_sorting)
+            lists_->touch(s.page, s.tier);
+        window_latency_sum_ +=
+            m.config().tiers[static_cast<int>(s.tier)].load_latency_ns;
+        ++window_latency_samples_;
+    }
+    if (bins_->cooling_due()) {
+        bins_->cool();
+        // The threshold is re-derived from capacity after each cooling;
+        // the RL agent refines it between coolings (Section 4.3).
+        threshold_ = std::max(
+            config_.min_threshold,
+            bins_->capacity_threshold(m.capacity_pages(Tier::kFast)));
+    }
+}
+
+double
+ArtMem::tau_for_reward(const stats::TauState& tau) const
+{
+    // The no-sample state carries no memory-pressure signal; treat it
+    // as "all fast" for reward purposes (no accesses -> no stalls).
+    if (tau.state == config_.k + 1)
+        return static_cast<double>(config_.k);
+    return static_cast<double>(tau.state);
+}
+
+double
+ArtMem::latency_tau() const
+{
+    const auto& cfg = machine().config();
+    const auto fast =
+        static_cast<double>(cfg.tiers[0].load_latency_ns);
+    const auto slow =
+        static_cast<double>(cfg.tiers[1].load_latency_ns);
+    if (slow <= fast)
+        return static_cast<double>(config_.k);
+    const double scaled =
+        (slow - latency_ema_ns_) / (slow - fast) * config_.k;
+    return std::clamp(scaled, 0.0, static_cast<double>(config_.k));
+}
+
+void
+ArtMem::apply_threshold_action(int action)
+{
+    const int delta = config_.threshold_deltas[static_cast<std::size_t>(action)];
+    const long long next = static_cast<long long>(threshold_) + delta;
+    threshold_ = static_cast<std::uint32_t>(
+        std::clamp<long long>(next, config_.min_threshold,
+                              config_.max_threshold));
+}
+
+std::size_t
+ArtMem::collect_promotion_candidates(std::size_t want,
+                                     std::vector<PageId>& out)
+{
+    auto& m = machine();
+    if (!config_.use_sorting) {
+        // Ablation: frequency-only selection, hottest first.
+        candidate_scratch_.clear();
+        bins_->collect_at_or_above(threshold_, candidate_scratch_);
+        std::sort(candidate_scratch_.begin(), candidate_scratch_.end(),
+                  [this](PageId a, PageId b) {
+                      return bins_->count(a) > bins_->count(b);
+                  });
+        for (PageId page : candidate_scratch_) {
+            if (out.size() >= want)
+                break;
+            if (m.is_allocated(page) && m.tier_of(page) == Tier::kSlow)
+                out.push_back(page);
+        }
+        return out.size();
+    }
+    // Recency-first: walk the slow tier's active list from the MRU head,
+    // keeping only pages above the hotness threshold, then fall back to
+    // the inactive list (Section 4.3, step V).
+    for (lru::ListId list :
+         {lru::ListId::kSlowActive, lru::ListId::kSlowInactive}) {
+        for (PageId page = lists_->head(list);
+             page != kInvalidPage && out.size() < want;
+             page = lists_->next(page)) {
+            if (bins_->count(page) >= threshold_ && m.is_allocated(page) &&
+                m.tier_of(page) == Tier::kSlow) {
+                out.push_back(page);
+            }
+        }
+        if (out.size() >= want)
+            break;
+    }
+    return out.size();
+}
+
+std::size_t
+ArtMem::demote_for_room(std::size_t need)
+{
+    auto& m = machine();
+    std::size_t demoted = 0;
+    auto demote_page = [&](PageId page) {
+        lists_->remove(page);
+        if (m.migrate(page, Tier::kSlow)) {
+            // Demoted pages join the slow inactive head: cold but recent.
+            lists_->insert_head(page, lru::ListId::kSlowInactive);
+            ++demoted;
+        }
+    };
+    // 1) Fast-tier inactive tail (cold and not recently referenced).
+    //    Stop at the first victim that is itself above the hotness
+    //    threshold: swapping hot pages for hot pages cannot raise the
+    //    access ratio and only burns migration bandwidth (the Pattern
+    //    S4 thrashing trap, Section 3.1).
+    while (demoted < need) {
+        const PageId page = lists_->tail(lru::ListId::kFastInactive);
+        if (page == kInvalidPage || bins_->count(page) >= threshold_)
+            break;
+        demote_page(page);
+    }
+    // 2) Fast pages that were never sampled at all: the very coldest,
+    //    invisible to the LRU lists. Round-robin scan.
+    const std::size_t pages = m.page_count();
+    std::size_t scanned = 0;
+    while (demoted < need && scanned < pages) {
+        const PageId page = cold_scan_cursor_;
+        cold_scan_cursor_ = (cold_scan_cursor_ + 1) % pages;
+        ++scanned;
+        if (m.is_allocated(page) && m.tier_of(page) == Tier::kFast &&
+            lists_->where(page) == lru::ListId::kNone) {
+            demote_page(page);
+        }
+    }
+    // 3) Fast active tail as a last resort, with the same hot-victim
+    //    guard.
+    while (demoted < need) {
+        const PageId page = lists_->tail(lru::ListId::kFastActive);
+        if (page == kInvalidPage || bins_->count(page) >= threshold_)
+            break;
+        demote_page(page);
+    }
+    return demoted;
+}
+
+std::size_t
+ArtMem::perform_migration(Bytes budget)
+{
+    auto& m = machine();
+    const auto want = static_cast<std::size_t>(budget / m.page_size());
+    if (want == 0)
+        return 0;
+    std::vector<PageId> candidates;
+    candidates.reserve(want);
+    collect_promotion_candidates(want, candidates);
+    // Scope-bounded selection: the kmigrated thread only touches the
+    // candidate/victim lists it actually migrates from, not the whole
+    // page population (contrast with MEMTIS's full classification walk).
+    m.charge_overhead((candidates.size() + want) * 4);
+    if (candidates.empty())
+        return 0;
+    const std::size_t free = m.free_pages(Tier::kFast);
+    if (candidates.size() > free)
+        demote_for_room(candidates.size() - free);
+    std::size_t promoted = 0;
+    for (PageId page : candidates) {
+        lists_->remove(page);
+        if (m.migrate(page, Tier::kFast)) {
+            // Aggressive re-insertion: always the fast active head.
+            lists_->insert_head(page, lru::ListId::kFastActive);
+            ++promoted;
+        } else {
+            lists_->insert_head(page, lru::ListId::kSlowActive);
+        }
+    }
+    return promoted;
+}
+
+void
+ArtMem::on_interval(SimTimeNs now)
+{
+    (void)now;
+    auto& m = machine();
+    ++periods_;
+
+    // Observe the environment (Algorithm 1 line 6).
+    const stats::TauState tau = tracker_->take();
+    if (window_latency_samples_ > 0) {
+        // Pending-request proxy (Section 6.3.4): sampled load latency
+        // plus the queueing contributed by in-flight migration traffic,
+        // amortized over the sampled accesses of the window.
+        const std::uint64_t migration_busy =
+            m.totals().migration_busy_ns - last_migration_busy_ns_;
+        last_migration_busy_ns_ = m.totals().migration_busy_ns;
+        const double window_avg =
+            (static_cast<double>(window_latency_sum_) +
+             static_cast<double>(migration_busy) *
+                 m.config().migration_contention) /
+            static_cast<double>(window_latency_samples_);
+        latency_ema_ns_ = config_.latency_ema_weight * window_avg +
+                          (1.0 - config_.latency_ema_weight) * latency_ema_ns_;
+    }
+    window_latency_sum_ = 0;
+    window_latency_samples_ = 0;
+
+    const double tau_i = config_.reward_mode == RewardMode::kLatency
+                             ? latency_tau()
+                             : tau_for_reward(tau);
+    const double lambda = migrated_last_period_ > 0 ? 1.0 : 0.0;
+    const double reward =
+        tau_i - config_.beta + lambda * (tau_i - tau_prev_);
+
+    Bytes budget = 0;
+    if (config_.use_rl) {
+        const int state = tau.state;
+        const int mig_action = migration_agent_->step(reward, state);
+        budget = config_.migration_sizes_mib[
+                     static_cast<std::size_t>(mig_action)] << 20;
+        if (config_.use_dynamic_threshold) {
+            const int thr_action = threshold_agent_->step(reward, state);
+            apply_threshold_action(thr_action);
+        }
+    } else {
+        // Ablation: heuristic scope — capacity threshold, migrate all hot.
+        threshold_ = std::max(
+            config_.min_threshold,
+            bins_->capacity_threshold(m.capacity_pages(Tier::kFast)));
+        budget = static_cast<Bytes>(2048) << 20;
+    }
+
+    last_budget_ = budget;
+    migrated_last_period_ = perform_migration(budget);
+    tau_prev_ = tau_i;
+}
+
+void
+ArtMem::save_qtables(std::ostream& os) const
+{
+    migration_agent_->table().save(os);
+    threshold_agent_->table().save(os);
+}
+
+void
+ArtMem::load_qtables(std::istream& is)
+{
+    migration_agent_->set_table(rl::QTable::load(is));
+    threshold_agent_->set_table(rl::QTable::load(is));
+}
+
+}  // namespace artmem::core

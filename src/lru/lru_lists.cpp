@@ -1,0 +1,194 @@
+#include "lru/lru_lists.hpp"
+
+#include "util/logging.hpp"
+
+namespace artmem::lru {
+
+ListId
+list_id(memsim::Tier tier, bool active)
+{
+    const int base = tier == memsim::Tier::kFast ? 0 : 2;
+    return static_cast<ListId>(base + (active ? 0 : 1));
+}
+
+memsim::Tier
+list_tier(ListId id)
+{
+    if (id == ListId::kNone)
+        panic("list_tier(kNone)");
+    return static_cast<int>(id) < 2 ? memsim::Tier::kFast
+                                    : memsim::Tier::kSlow;
+}
+
+bool
+list_active(ListId id)
+{
+    return id == ListId::kFastActive || id == ListId::kSlowActive;
+}
+
+LruLists::LruLists(std::size_t page_count)
+    : next_(page_count, kInvalidPage),
+      prev_(page_count, kInvalidPage),
+      where_(page_count, ListId::kNone),
+      referenced_(page_count, 0)
+{
+    for (int i = 0; i < 4; ++i) {
+        heads_[i] = kInvalidPage;
+        tails_[i] = kInvalidPage;
+    }
+}
+
+void
+LruLists::insert_head(PageId page, ListId list)
+{
+    if (where_[page] != ListId::kNone)
+        panic("LruLists::insert_head: page ", page, " already linked");
+    const int l = static_cast<int>(list);
+    next_[page] = heads_[l];
+    prev_[page] = kInvalidPage;
+    if (heads_[l] != kInvalidPage)
+        prev_[heads_[l]] = page;
+    heads_[l] = page;
+    if (tails_[l] == kInvalidPage)
+        tails_[l] = page;
+    where_[page] = list;
+    ++sizes_[l];
+}
+
+void
+LruLists::insert_tail(PageId page, ListId list)
+{
+    if (where_[page] != ListId::kNone)
+        panic("LruLists::insert_tail: page ", page, " already linked");
+    const int l = static_cast<int>(list);
+    prev_[page] = tails_[l];
+    next_[page] = kInvalidPage;
+    if (tails_[l] != kInvalidPage)
+        next_[tails_[l]] = page;
+    tails_[l] = page;
+    if (heads_[l] == kInvalidPage)
+        heads_[l] = page;
+    where_[page] = list;
+    ++sizes_[l];
+}
+
+void
+LruLists::remove(PageId page)
+{
+    const ListId list = where_[page];
+    if (list == ListId::kNone)
+        return;
+    const int l = static_cast<int>(list);
+    const PageId p = prev_[page];
+    const PageId n = next_[page];
+    if (p != kInvalidPage)
+        next_[p] = n;
+    else
+        heads_[l] = n;
+    if (n != kInvalidPage)
+        prev_[n] = p;
+    else
+        tails_[l] = p;
+    prev_[page] = kInvalidPage;
+    next_[page] = kInvalidPage;
+    where_[page] = ListId::kNone;
+    --sizes_[l];
+}
+
+void
+LruLists::move_to_head(PageId page, ListId list)
+{
+    remove(page);
+    insert_head(page, list);
+}
+
+PageId
+LruLists::head(ListId list) const
+{
+    return heads_[static_cast<int>(list)];
+}
+
+PageId
+LruLists::tail(ListId list) const
+{
+    return tails_[static_cast<int>(list)];
+}
+
+bool
+LruLists::test_and_clear_referenced(PageId page)
+{
+    const bool was = referenced_[page] != 0;
+    referenced_[page] = 0;
+    return was;
+}
+
+void
+LruLists::touch(PageId page, memsim::Tier tier)
+{
+    const ListId current = where_[page];
+    const ListId active = list_id(tier, true);
+    const ListId inactive = list_id(tier, false);
+    if (current == ListId::kNone) {
+        referenced_[page] = 1;
+        insert_head(page, inactive);
+        return;
+    }
+    // If the page migrated since its last touch, current may belong to
+    // the other tier; re-home it.
+    if (list_active(current)) {
+        move_to_head(page, active);
+        referenced_[page] = 1;
+        return;
+    }
+    if (referenced_[page]) {
+        // Second touch while inactive: activate (kernel workingset rule).
+        referenced_[page] = 0;
+        move_to_head(page, active);
+    } else {
+        referenced_[page] = 1;
+        move_to_head(page, inactive);
+    }
+}
+
+std::size_t
+LruLists::age_active(memsim::Tier tier, std::size_t scan_count)
+{
+    const ListId active = list_id(tier, true);
+    const ListId inactive = list_id(tier, false);
+    std::size_t deactivated = 0;
+    for (std::size_t i = 0; i < scan_count; ++i) {
+        const PageId page = tail(active);
+        if (page == kInvalidPage)
+            break;
+        if (test_and_clear_referenced(page)) {
+            move_to_head(page, active);
+        } else {
+            move_to_head(page, inactive);
+            ++deactivated;
+        }
+    }
+    return deactivated;
+}
+
+std::size_t
+LruLists::scan_inactive(memsim::Tier tier, std::size_t scan_count,
+                        std::vector<PageId>& candidates)
+{
+    const ListId active = list_id(tier, true);
+    const ListId inactive = list_id(tier, false);
+    std::size_t produced = 0;
+    PageId page = tail(inactive);
+    for (std::size_t i = 0; i < scan_count && page != kInvalidPage; ++i) {
+        const PageId toward_head = prev_[page];
+        if (test_and_clear_referenced(page)) {
+            move_to_head(page, active);
+        } else {
+            candidates.push_back(page);
+            ++produced;
+        }
+        page = toward_head;
+    }
+    return produced;
+}
+
+}  // namespace artmem::lru

@@ -1,0 +1,59 @@
+#include "memsim/async_sampler.hpp"
+
+#include "util/logging.hpp"
+
+namespace artmem::memsim {
+
+AsyncSampler::AsyncSampler(std::size_t capacity, BatchHandler handler,
+                           std::chrono::microseconds poll)
+    : buffer_(capacity), handler_(std::move(handler)), poll_(poll)
+{
+    if (!handler_)
+        fatal("AsyncSampler requires a batch handler");
+    worker_ = std::thread([this] { run(); });
+}
+
+AsyncSampler::~AsyncSampler()
+{
+    stop();
+}
+
+void
+AsyncSampler::stop()
+{
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true))
+        return;
+    if (worker_.joinable())
+        worker_.join();
+}
+
+void
+AsyncSampler::run()
+{
+    std::vector<PebsSample> batch;
+    batch.reserve(1024);
+    for (;;) {
+        batch.clear();
+        buffer_.drain(batch, 1024);
+        if (!batch.empty()) {
+            handler_(batch);
+            delivered_.fetch_add(batch.size(), std::memory_order_relaxed);
+            continue;  // keep draining while there is work
+        }
+        if (stopping_.load(std::memory_order_acquire)) {
+            // Final sweep so no records are lost on shutdown.
+            batch.clear();
+            buffer_.drain(batch, static_cast<std::size_t>(-1));
+            if (!batch.empty()) {
+                handler_(batch);
+                delivered_.fetch_add(batch.size(),
+                                     std::memory_order_relaxed);
+            }
+            return;
+        }
+        std::this_thread::sleep_for(poll_);
+    }
+}
+
+}  // namespace artmem::memsim

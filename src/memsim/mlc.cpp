@@ -1,0 +1,39 @@
+#include "memsim/mlc.hpp"
+
+#include "util/logging.hpp"
+
+namespace artmem::memsim {
+
+MlcResult
+measure_tier(TieredMachine& machine, Tier tier, std::uint64_t accesses,
+             Bytes stream_bytes)
+{
+    // Probe working set: a handful of pages pinned to the target tier.
+    constexpr std::size_t kProbePages = 8;
+    if (machine.page_count() < kProbePages)
+        fatal("measure_tier: machine address space too small");
+    for (PageId p = 0; p < kProbePages; ++p) {
+        machine.access(p);  // ensure allocated
+        if (machine.tier_of(p) != tier && !machine.migrate(p, tier))
+            fatal("measure_tier: cannot pin probe pages into ",
+                  tier_name(tier), " tier");
+    }
+
+    MlcResult result;
+
+    // Latency: dependent-load chain over the probe pages.
+    const SimTimeNs lat_start = machine.now();
+    for (std::uint64_t i = 0; i < accesses; ++i)
+        machine.access(static_cast<PageId>(i % kProbePages));
+    result.latency_ns = static_cast<double>(machine.now() - lat_start) /
+                        static_cast<double>(accesses);
+
+    // Bandwidth: bulk sequential stream from the tier.
+    const SimTimeNs bw_time = machine.stream(tier, stream_bytes);
+    result.bandwidth_gbps =
+        static_cast<double>(stream_bytes) / static_cast<double>(bw_time);
+
+    return result;
+}
+
+}  // namespace artmem::memsim

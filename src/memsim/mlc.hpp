@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Intel Memory Latency Checker analogue: measures per-tier load latency
+ * (pointer-chase) and sequential bandwidth (stream) on a TieredMachine,
+ * reproducing the methodology behind the paper's Table 2.
+ */
+#ifndef ARTMEM_MEMSIM_MLC_HPP
+#define ARTMEM_MEMSIM_MLC_HPP
+
+#include "memsim/tier.hpp"
+#include "memsim/tiered_machine.hpp"
+
+namespace artmem::memsim {
+
+/** Measured characteristics of one tier. */
+struct MlcResult {
+    double latency_ns = 0.0;      ///< Mean per-access load latency.
+    double bandwidth_gbps = 0.0;  ///< Sequential read bandwidth.
+};
+
+/**
+ * Measure one tier of a machine. Pages used for the probe are first
+ * forced into @p tier (fatal if the tier cannot hold them).
+ *
+ * @param machine  Machine under test (time advances!).
+ * @param tier     Tier to probe.
+ * @param accesses Number of latency-probe accesses.
+ * @param stream_bytes Bytes for the bandwidth probe.
+ */
+MlcResult measure_tier(TieredMachine& machine, Tier tier,
+                       std::uint64_t accesses = 100000,
+                       Bytes stream_bytes = 1ull << 30);
+
+}  // namespace artmem::memsim
+
+#endif  // ARTMEM_MEMSIM_MLC_HPP

@@ -1,0 +1,32 @@
+#include "memsim/pebs.hpp"
+
+#include "util/logging.hpp"
+
+namespace artmem::memsim {
+
+PebsSampler::PebsSampler(const Config& config)
+    : buffer_(config.buffer_capacity),
+      period_(config.period),
+      countdown_(config.period)
+{
+    if (config.period == 0)
+        fatal("PebsSampler: period must be positive");
+}
+
+std::size_t
+PebsSampler::drain(std::vector<PebsSample>& out, std::size_t max_items)
+{
+    return buffer_.drain(out, max_items);
+}
+
+void
+PebsSampler::set_period(std::uint32_t period)
+{
+    if (period == 0)
+        fatal("PebsSampler: period must be positive");
+    period_ = period;
+    if (countdown_ > period_)
+        countdown_ = period_;
+}
+
+}  // namespace artmem::memsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Single-producer/single-consumer lock-free ring buffer.
+ *
+ * Models the PEBS buffer that the kernel sampling path writes and the
+ * ksampled thread drains (ArtMem Section 4.4). The same class backs both
+ * the deterministic simulated path (producer and consumer on one thread)
+ * and the real std::thread demonstration exercised by the tests.
+ */
+#ifndef ARTMEM_MEMSIM_RING_BUFFER_HPP
+#define ARTMEM_MEMSIM_RING_BUFFER_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace artmem::memsim {
+
+/**
+ * Fixed-capacity SPSC queue. Capacity is rounded up to a power of two.
+ * push() never blocks: when the buffer is full the record is dropped and
+ * counted, mirroring how PEBS loses samples under overload.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    /** @param capacity Minimum number of slots (rounded to a power of 2). */
+    explicit RingBuffer(std::size_t capacity)
+    {
+        if (capacity == 0)
+            fatal("RingBuffer capacity must be positive");
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    /** Producer side: enqueue or drop. @return false when dropped. */
+    bool
+    push(const T& value)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        if (head - tail > mask_) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        slots_[head & mask_] = value;
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: dequeue one element if available. */
+    std::optional<T>
+    pop()
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail == head)
+            return std::nullopt;
+        T value = slots_[tail & mask_];
+        tail_.store(tail + 1, std::memory_order_release);
+        return value;
+    }
+
+    /**
+     * Consumer side: drain up to max_items into out (appended).
+     * @return number of items drained.
+     */
+    std::size_t
+    drain(std::vector<T>& out, std::size_t max_items)
+    {
+        std::size_t n = 0;
+        while (n < max_items) {
+            auto v = pop();
+            if (!v)
+                break;
+            out.push_back(*v);
+            ++n;
+        }
+        return n;
+    }
+
+    /** Number of records dropped because the buffer was full. */
+    std::uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Current element count (approximate under concurrency). */
+    std::size_t
+    size() const
+    {
+        return head_.load(std::memory_order_acquire) -
+               tail_.load(std::memory_order_acquire);
+    }
+
+    /** Slot capacity. */
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    std::atomic<std::size_t> head_{0};
+    std::atomic<std::size_t> tail_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace artmem::memsim
+
+#endif  // ARTMEM_MEMSIM_RING_BUFFER_HPP

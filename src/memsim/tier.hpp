@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Memory tier identifiers and per-tier device specifications for the
+ * two-tier (fast DRAM + slow PM/CXL) machine model.
+ */
+#ifndef ARTMEM_MEMSIM_TIER_HPP
+#define ARTMEM_MEMSIM_TIER_HPP
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace artmem::memsim {
+
+/** Which memory tier a page lives in. */
+enum class Tier : std::uint8_t {
+    kFast = 0,  ///< DRAM-class tier (92 ns in the paper's testbed).
+    kSlow = 1,  ///< PM/CXL-class capacity tier (323 ns in the paper).
+};
+
+/** Number of tiers in the machine model. */
+inline constexpr int kTierCount = 2;
+
+/** Printable tier name. */
+std::string_view tier_name(Tier t);
+
+/** The other tier. */
+inline Tier
+other_tier(Tier t)
+{
+    return t == Tier::kFast ? Tier::kSlow : Tier::kFast;
+}
+
+/**
+ * Device characteristics of one tier. Defaults follow the paper's
+ * Table 2 measurements of the DRAM + Optane testbed.
+ */
+struct TierSpec {
+    /** Average loaded read latency of one access (ns). */
+    SimTimeNs load_latency_ns = 92;
+    /** Peak sequential bandwidth (GB/s); governs migration cost. */
+    double bandwidth_gbps = 81.0;
+    /** Capacity in bytes. */
+    Bytes capacity = 64ull << 30;
+};
+
+}  // namespace artmem::memsim
+
+#endif  // ARTMEM_MEMSIM_TIER_HPP

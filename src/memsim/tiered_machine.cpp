@@ -1,0 +1,198 @@
+#include "memsim/tiered_machine.hpp"
+
+#include "util/logging.hpp"
+
+namespace artmem::memsim {
+
+std::string_view
+tier_name(Tier t)
+{
+    return t == Tier::kFast ? "fast" : "slow";
+}
+
+TieredMachine::TieredMachine(const MachineConfig& config) : config_(config)
+{
+    if (config_.page_size == 0)
+        fatal("MachineConfig: page_size must be positive");
+    if (config_.address_space % config_.page_size != 0)
+        fatal("MachineConfig: address_space must be page aligned");
+    if (config_.migration_contention < 0.0 ||
+        config_.migration_contention > 1.0) {
+        fatal("MachineConfig: migration_contention must be in [0,1]");
+    }
+    const std::size_t pages = config_.address_space / config_.page_size;
+    if (pages == 0)
+        fatal("MachineConfig: empty address space");
+    capacity_[0] = config_.fast_capacity_pages();
+    capacity_[1] = config_.slow_capacity_pages();
+    if (pages > capacity_[0] + capacity_[1]) {
+        fatal("MachineConfig: footprint of ", pages,
+              " pages exceeds machine capacity of ",
+              capacity_[0] + capacity_[1], " pages");
+    }
+    for (int t = 0; t < kTierCount; ++t) {
+        if (config_.tiers[t].bandwidth_gbps <= 0.0)
+            fatal("MachineConfig: tier bandwidth must be positive");
+        latency_[t] = config_.tiers[t].load_latency_ns;
+    }
+    flags_.assign(pages, 0);
+}
+
+void
+TieredMachine::allocate(PageId page)
+{
+    // First-touch, fast tier first (the paper: "ArtMem first places pages
+    // in fast memory before overflowing to the slower tier").
+    const Tier tier =
+        used_[0] < capacity_[0] ? Tier::kFast : Tier::kSlow;
+    if (tier == Tier::kSlow && used_[1] >= capacity_[1])
+        panic("TieredMachine: both tiers full on allocation");
+    ++used_[static_cast<int>(tier)];
+    flags_[page] = static_cast<std::uint8_t>(
+        kAllocatedBit | (tier == Tier::kSlow ? kTierBit : 0));
+}
+
+void
+TieredMachine::prefault_range(PageId first, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const PageId page = first + static_cast<PageId>(i);
+        if (!(flags_[page] & kAllocatedBit))
+            allocate(page);
+    }
+}
+
+Tier
+TieredMachine::access(PageId page)
+{
+    std::uint8_t& flags = flags_[page];
+    if (!(flags & kAllocatedBit))
+        allocate(page);
+    const Tier tier =
+        (flags & kTierBit) ? Tier::kSlow : Tier::kFast;
+    flags |= kAccessedBit;
+    const int t = static_cast<int>(tier);
+    now_ += latency_[t];
+    ++totals_.accesses[t];
+    ++window_.accesses[t];
+    if (flags & kTrapBit) [[unlikely]] {
+        flags &= static_cast<std::uint8_t>(~kTrapBit);
+        now_ += config_.hint_fault_cost_ns;
+        ++totals_.hint_faults;
+        ++window_.hint_faults;
+        if (fault_handler_)
+            fault_handler_(page, tier);
+    }
+    return tier;
+}
+
+Tier
+TieredMachine::tier_of(PageId page) const
+{
+    if (!is_allocated(page))
+        panic("TieredMachine::tier_of on unallocated page ", page);
+    return (flags_[page] & kTierBit) ? Tier::kSlow : Tier::kFast;
+}
+
+SimTimeNs
+TieredMachine::migration_cost(Tier src, Tier dst) const
+{
+    // Copy cost: read from src at src bandwidth plus write to dst at dst
+    // bandwidth, plus fixed PTE/TLB overhead. GB/s == bytes/ns.
+    const double bytes = static_cast<double>(config_.page_size);
+    const double read_ns =
+        bytes / config_.tiers[static_cast<int>(src)].bandwidth_gbps;
+    const double write_ns =
+        bytes / config_.tiers[static_cast<int>(dst)].bandwidth_gbps;
+    return static_cast<SimTimeNs>(read_ns + write_ns) +
+           config_.migration_fixed_ns;
+}
+
+void
+TieredMachine::account_migration(Tier src, Tier dst)
+{
+    const SimTimeNs busy = migration_cost(src, dst);
+    totals_.migration_busy_ns += busy;
+    window_.migration_busy_ns += busy;
+    now_ += static_cast<SimTimeNs>(
+        static_cast<double>(busy) * config_.migration_contention);
+    if (dst == Tier::kFast) {
+        ++totals_.promoted_pages;
+        ++window_.promoted_pages;
+    } else {
+        ++totals_.demoted_pages;
+        ++window_.demoted_pages;
+    }
+}
+
+bool
+TieredMachine::migrate(PageId page, Tier dst)
+{
+    if (!is_allocated(page))
+        return false;
+    const Tier src = tier_of(page);
+    if (src == dst)
+        return false;
+    const int d = static_cast<int>(dst);
+    if (used_[d] >= capacity_[d])
+        return false;
+    --used_[static_cast<int>(src)];
+    ++used_[d];
+    if (dst == Tier::kSlow)
+        flags_[page] |= kTierBit;
+    else
+        flags_[page] &= static_cast<std::uint8_t>(~kTierBit);
+    account_migration(src, dst);
+    return true;
+}
+
+bool
+TieredMachine::exchange(PageId a, PageId b)
+{
+    if (!is_allocated(a) || !is_allocated(b) || a == b)
+        return false;
+    const Tier ta = tier_of(a);
+    const Tier tb = tier_of(b);
+    if (ta == tb)
+        return false;
+    flags_[a] ^= kTierBit;
+    flags_[b] ^= kTierBit;
+    // An exchange is two copies through a bounce buffer; charge both.
+    const SimTimeNs busy = migration_cost(ta, tb) + migration_cost(tb, ta);
+    totals_.migration_busy_ns += busy;
+    window_.migration_busy_ns += busy;
+    now_ += static_cast<SimTimeNs>(
+        static_cast<double>(busy) * config_.migration_contention);
+    ++totals_.exchanges;
+    ++window_.exchanges;
+    return true;
+}
+
+SimTimeNs
+TieredMachine::stream(Tier tier, Bytes length)
+{
+    const double ns = static_cast<double>(length) /
+                      config_.tiers[static_cast<int>(tier)].bandwidth_gbps;
+    const auto delta = static_cast<SimTimeNs>(ns);
+    now_ += delta;
+    return delta;
+}
+
+bool
+TieredMachine::test_and_clear_accessed(PageId page)
+{
+    std::uint8_t& flags = flags_[page];
+    const bool was = (flags & kAccessedBit) != 0;
+    flags &= static_cast<std::uint8_t>(~kAccessedBit);
+    return was;
+}
+
+TieredMachine::Counters
+TieredMachine::take_window()
+{
+    Counters out = window_;
+    window_ = Counters{};
+    return out;
+}
+
+}  // namespace artmem::memsim

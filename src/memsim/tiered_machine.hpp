@@ -1,0 +1,262 @@
+/**
+ * @file
+ * The two-tier memory machine model.
+ *
+ * TieredMachine is the substrate every tiering policy in this repo runs
+ * on. It substitutes for the paper's DRAM + Optane testbed: it tracks
+ * page residency, charges each access the residing tier's load latency,
+ * charges migrations a bandwidth-derived cost, and exposes the three
+ * access-monitoring facilities real systems use (ArtMem Section 2.1):
+ *
+ *  - per-page accessed bits that can be scanned and cleared (page-table
+ *    scanning, used by Nimble / Multi-clock / kernel LRU emulations),
+ *  - software traps on selected pages that deliver a fault on the next
+ *    access (NUMA hint faults, used by AutoNUMA / AutoTiering / TPP),
+ *  - an externally driven sampling hook (PEBS, used by MEMTIS / ArtMem;
+ *    see PebsSampler).
+ *
+ * Simulated time advances only through this class, so "execution time"
+ * of a workload is machine.now() at the end of the run.
+ */
+#ifndef ARTMEM_MEMSIM_TIERED_MACHINE_HPP
+#define ARTMEM_MEMSIM_TIERED_MACHINE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "memsim/tier.hpp"
+#include "util/types.hpp"
+
+namespace artmem::memsim {
+
+/** Static configuration of a TieredMachine. */
+struct MachineConfig {
+    /** Migration granule; the paper uses 2 MiB huge pages. */
+    Bytes page_size = 2ull << 20;
+    /** Device specs, indexed by Tier. Defaults are the paper's Table 2. */
+    TierSpec tiers[kTierCount] = {
+        TierSpec{92, 81.0, 64ull << 30},
+        TierSpec{323, 26.0, 512ull << 30},
+    };
+    /** Size of the simulated virtual address space (the app footprint). */
+    Bytes address_space = 32ull << 30;
+    /** Cost of taking one NUMA-hint fault on the critical path (ns). */
+    SimTimeNs hint_fault_cost_ns = 500;
+    /**
+     * Fraction of raw migration device time charged to application time.
+     * Migrations run on a background thread but contend for memory
+     * bandwidth; 1.0 = fully synchronous, 0.0 = free migrations.
+     */
+    double migration_contention = 0.25;
+    /** Fixed per-page migration overhead: PTE updates, TLB shootdown (ns). */
+    SimTimeNs migration_fixed_ns = 2000;
+
+    /** Total page slots in the fast tier. */
+    std::size_t fast_capacity_pages() const
+    {
+        return static_cast<std::size_t>(tiers[0].capacity / page_size);
+    }
+    /** Total page slots in the slow tier. */
+    std::size_t slow_capacity_pages() const
+    {
+        return static_cast<std::size_t>(tiers[1].capacity / page_size);
+    }
+};
+
+/**
+ * Two-tier machine: page residency, access timing, migration engine,
+ * accessed bits, and hint-fault traps.
+ */
+class TieredMachine
+{
+  public:
+    /** Called when a trapped page is accessed: (page, tier it resides in). */
+    using FaultHandler = std::function<void(PageId, Tier)>;
+
+    /** Build a machine; fatal() on inconsistent configuration. */
+    explicit TieredMachine(const MachineConfig& config);
+
+    /**
+     * Perform one memory access to @p page.
+     *
+     * First touch allocates the page (fast tier first, overflowing to the
+     * slow tier, as in the paper's evaluation setup). Advances simulated
+     * time by the tier's load latency, sets the accessed bit, and fires
+     * the fault handler if the page was trapped.
+     *
+     * @return the tier the access was served from.
+     */
+    Tier access(PageId page);
+
+    /**
+     * Allocate pages [first, first+count) in address order without
+     * charging access time (a program initializing its heap at startup:
+     * fast tier fills first, then overflows to the slow tier).
+     */
+    void prefault_range(PageId first, std::size_t count);
+
+    /** Current simulated time (ns). */
+    SimTimeNs now() const { return now_; }
+
+    /** Advance simulated time without memory traffic (compute phases). */
+    void advance(SimTimeNs delta) { now_ += delta; }
+
+    /**
+     * Charge policy bookkeeping time (page-table scans, LRU passes,
+     * Q-table math). Advances the clock like advance() but is also
+     * accounted separately so per-policy CPU overhead can be compared
+     * (Section 6.3.3: MEMTIS's migration threads cost ~10x ArtMem's).
+     */
+    void
+    charge_overhead(SimTimeNs delta)
+    {
+        now_ += delta;
+        totals_.overhead_ns += delta;
+        window_.overhead_ns += delta;
+    }
+
+    /** Number of pages in the virtual address space. */
+    std::size_t page_count() const { return flags_.size(); }
+
+    /** Page size in bytes. */
+    Bytes page_size() const { return config_.page_size; }
+
+    /** Immutable configuration. */
+    const MachineConfig& config() const { return config_; }
+
+    /** Page slots the tier can hold. */
+    std::size_t capacity_pages(Tier t) const
+    {
+        return capacity_[static_cast<int>(t)];
+    }
+
+    /** Pages currently resident in the tier. */
+    std::size_t used_pages(Tier t) const
+    {
+        return used_[static_cast<int>(t)];
+    }
+
+    /** Free page slots in the tier. */
+    std::size_t free_pages(Tier t) const
+    {
+        return capacity_pages(t) - used_pages(t);
+    }
+
+    /** True once the page has been touched. */
+    bool is_allocated(PageId page) const
+    {
+        return (flags_[page] & kAllocatedBit) != 0;
+    }
+
+    /** Residency of an allocated page; panic() on unallocated pages. */
+    Tier tier_of(PageId page) const;
+
+    /**
+     * Move an allocated page to @p dst, charging migration cost.
+     * @return false (no-op) if the page is unallocated, already in @p dst,
+     *         or @p dst has no free slot.
+     */
+    bool migrate(PageId page, Tier dst);
+
+    /**
+     * Swap the tiers of two pages resident in different tiers (the
+     * exchange migration AutoTiering uses when the fast tier is full).
+     * @return false if the precondition does not hold.
+     */
+    bool exchange(PageId a, PageId b);
+
+    /**
+     * Bulk sequential transfer of @p length bytes from the tier, charged
+     * at the tier's bandwidth (used by the MLC-style Table 2 microbench;
+     * regular workload accesses go through access()).
+     * @return the time charged.
+     */
+    SimTimeNs stream(Tier tier, Bytes length);
+
+    /** Read and clear the page's accessed bit. */
+    bool test_and_clear_accessed(PageId page);
+
+    /** Read the accessed bit without clearing. */
+    bool accessed(PageId page) const
+    {
+        return (flags_[page] & kAccessedBit) != 0;
+    }
+
+    /** Arm a hint-fault trap: next access faults (and clears the trap). */
+    void set_trap(PageId page) { flags_[page] |= kTrapBit; }
+
+    /** True if a trap is armed on the page. */
+    bool has_trap(PageId page) const
+    {
+        return (flags_[page] & kTrapBit) != 0;
+    }
+
+    /** Install the hint-fault callback (one at a time). */
+    void set_fault_handler(FaultHandler handler)
+    {
+        fault_handler_ = std::move(handler);
+    }
+
+    /** Monotonic counters. */
+    struct Counters {
+        std::uint64_t accesses[kTierCount] = {0, 0};
+        std::uint64_t hint_faults = 0;
+        std::uint64_t promoted_pages = 0;
+        std::uint64_t demoted_pages = 0;
+        std::uint64_t exchanges = 0;
+        /** Raw device time spent copying pages, before contention scaling. */
+        SimTimeNs migration_busy_ns = 0;
+        /** Policy bookkeeping time charged via charge_overhead(). */
+        SimTimeNs overhead_ns = 0;
+
+        /** Total accesses across tiers. */
+        std::uint64_t total_accesses() const
+        {
+            return accesses[0] + accesses[1];
+        }
+        /** Fraction of accesses served by the fast tier (1.0 if idle). */
+        double fast_ratio() const
+        {
+            const std::uint64_t total = total_accesses();
+            return total == 0
+                ? 1.0
+                : static_cast<double>(accesses[0]) / static_cast<double>(total);
+        }
+        /** Pages moved in either direction. */
+        std::uint64_t migrated_pages() const
+        {
+            return promoted_pages + demoted_pages + 2 * exchanges;
+        }
+    };
+
+    /** Counters since construction. */
+    const Counters& totals() const { return totals_; }
+
+    /** Counters since the previous take_window() call (then reset). */
+    Counters take_window();
+
+  private:
+    static constexpr std::uint8_t kTierBit = 0x1;       // 0 fast, 1 slow
+    static constexpr std::uint8_t kAllocatedBit = 0x2;
+    static constexpr std::uint8_t kAccessedBit = 0x4;
+    static constexpr std::uint8_t kTrapBit = 0x8;
+
+    void allocate(PageId page);
+    SimTimeNs migration_cost(Tier src, Tier dst) const;
+    void account_migration(Tier src, Tier dst);
+
+    MachineConfig config_;
+    std::vector<std::uint8_t> flags_;
+    std::size_t capacity_[kTierCount];
+    std::size_t used_[kTierCount] = {0, 0};
+    SimTimeNs now_ = 0;
+    SimTimeNs latency_[kTierCount];
+    Counters totals_;
+    Counters window_;
+    FaultHandler fault_handler_;
+};
+
+}  // namespace artmem::memsim
+
+#endif  // ARTMEM_MEMSIM_TIERED_MACHINE_HPP

@@ -1,0 +1,122 @@
+#include "monitor/damon.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace artmem::monitor {
+
+Damon::Damon(std::size_t page_count, AccessProbe probe,
+             const Config& config, std::uint64_t seed)
+    : config_(config), probe_(std::move(probe)), rng_(seed)
+{
+    if (page_count == 0)
+        fatal("Damon: empty address space");
+    if (!probe_)
+        fatal("Damon: access probe required");
+    if (config_.min_regions == 0 ||
+        config_.min_regions > config_.max_regions) {
+        fatal("Damon: invalid region bounds");
+    }
+    // Initial layout: min_regions equal slices.
+    const std::size_t n =
+        std::min(config_.min_regions, page_count);
+    const PageId chunk =
+        static_cast<PageId>((page_count + n - 1) / n);
+    PageId start = 0;
+    while (start < page_count) {
+        Region r;
+        r.start = start;
+        r.length = static_cast<PageId>(
+            std::min<std::size_t>(chunk, page_count - start));
+        regions_.push_back(r);
+        start += r.length;
+    }
+}
+
+void
+Damon::sample()
+{
+    for (auto& region : regions_) {
+        const PageId page =
+            region.start +
+            static_cast<PageId>(rng_.next_below(region.length));
+        if (probe_(page))
+            ++region.nr_accesses;
+    }
+    ++samples_in_window_;
+}
+
+void
+Damon::merge_similar()
+{
+    std::vector<Region> merged;
+    merged.reserve(regions_.size());
+    for (const auto& region : regions_) {
+        if (!merged.empty()) {
+            auto& last = merged.back();
+            const auto diff =
+                last.nr_accesses > region.nr_accesses
+                    ? last.nr_accesses - region.nr_accesses
+                    : region.nr_accesses - last.nr_accesses;
+            if (diff <= config_.merge_threshold &&
+                merged.size() + (regions_.size() - merged.size()) >
+                    config_.min_regions) {
+                // Weighted-average the counts into the merged region.
+                const std::uint64_t total =
+                    static_cast<std::uint64_t>(last.nr_accesses) *
+                        last.length +
+                    static_cast<std::uint64_t>(region.nr_accesses) *
+                        region.length;
+                last.length += region.length;
+                last.nr_accesses =
+                    static_cast<std::uint32_t>(total / last.length);
+                continue;
+            }
+        }
+        merged.push_back(region);
+    }
+    if (merged.size() >= config_.min_regions)
+        regions_.swap(merged);
+}
+
+void
+Damon::split_to_resolution()
+{
+    // Split the largest regions in half until we are comfortably above
+    // min_regions (DAMON splits randomly; halving the largest keeps the
+    // monitor deterministic given the RNG state).
+    const std::size_t target =
+        std::min(config_.max_regions,
+                 std::max<std::size_t>(config_.min_regions * 2,
+                                       regions_.size()));
+    while (regions_.size() < target) {
+        auto widest = std::max_element(
+            regions_.begin(), regions_.end(),
+            [](const Region& a, const Region& b) {
+                return a.length < b.length;
+            });
+        if (widest == regions_.end() || widest->length < 2)
+            break;
+        Region right;
+        right.length = widest->length / 2;
+        right.start = widest->start + (widest->length - right.length);
+        right.nr_accesses = widest->nr_accesses;
+        widest->length -= right.length;
+        regions_.insert(std::next(widest), right);
+    }
+}
+
+std::vector<Region>
+Damon::aggregate()
+{
+    std::vector<Region> snapshot = regions_;
+    merge_similar();
+    split_to_resolution();
+    for (auto& region : regions_)
+        region.nr_accesses = 0;
+    samples_in_window_ = 0;
+    return snapshot;
+}
+
+}  // namespace artmem::monitor

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * AutoNUMA-style tiering (Linux automatic NUMA balancing extended with
+ * tier demotion, as evaluated by the paper on kernel v5.18).
+ *
+ * Mechanism: the balancer periodically unmaps a sliding window of the
+ * address space (modelled as hint-fault traps); the scan rate adapts to
+ * the observed fault rate exactly like numa_scan_period does. A page
+ * that faults in consecutive scan sweeps is considered frequently
+ * accessed and promoted (the kernel's two-hint-fault filter, expressed
+ * in scan epochs so it is scan-rate invariant). Promotions are rate
+ * limited. When fast-tier free space falls below a watermark, a
+ * kswapd-style pass demotes pages whose accessed bit stayed clear.
+ * Table 1 profile: good on stable patterns, slow on bursts of new hot
+ * pages (two sweeps must observe a page before it moves).
+ */
+#ifndef ARTMEM_POLICIES_AUTONUMA_HPP
+#define ARTMEM_POLICIES_AUTONUMA_HPP
+
+#include <vector>
+
+#include "policies/policy.hpp"
+#include "policies/scan_throttle.hpp"
+
+namespace artmem::policies {
+
+/** Linux AutoNUMA balancing + demotion emulation. */
+class AutoNuma final : public Policy
+{
+  public:
+    /** Tunables; defaults approximate kernel defaults scaled to sim time. */
+    struct Config {
+        /** Fraction of the address space trap-armed per tick. */
+        double scan_fraction = 1.0 / 32.0;
+        /** Faults in consecutive sweeps needed to promote. */
+        unsigned promote_streak = 2;
+        /** Promotion rate limit per decision interval (pages). */
+        std::size_t promote_limit = 48;
+        /** Keep at least this fraction of the fast tier free. */
+        double free_watermark = 0.01;
+        /** CPU cost charged per page scanned (ns). */
+        SimTimeNs scan_cost_ns = 8;
+        /** Fault-rate target per tick for adaptive scan throttling
+         *  (numa_scan_period adaptation). */
+        std::uint64_t target_faults_per_tick = 150;
+    };
+
+    AutoNuma() = default;
+    explicit AutoNuma(const Config& config) : config_(config) {}
+
+    std::string_view name() const override { return "autonuma"; }
+
+    void init(memsim::TieredMachine& machine) override;
+    void on_hint_fault(PageId page, memsim::Tier tier) override;
+    void on_tick(SimTimeNs now) override;
+    void on_interval(SimTimeNs now) override;
+
+  private:
+    void demote_to_watermark();
+
+    Config config_;
+    std::vector<std::uint32_t> last_sweep_;
+    std::vector<std::uint8_t> streak_;
+    std::vector<PageId> promote_queue_;
+    ScanThrottle throttle_{1.0 / 32.0, 150};
+    PageId scan_cursor_ = 0;
+    PageId demote_cursor_ = 0;
+    std::uint32_t sweep_ = 1;
+    unsigned promotion_backoff_ = 0;
+};
+
+}  // namespace artmem::policies
+
+#endif  // ARTMEM_POLICIES_AUTONUMA_HPP

@@ -1,0 +1,121 @@
+#include "policies/autotiering.hpp"
+
+#include <algorithm>
+
+namespace artmem::policies {
+
+void
+AutoTiering::init(memsim::TieredMachine& machine)
+{
+    Policy::init(machine);
+    fault_count_.assign(machine.page_count(), 0);
+    exchange_queue_.clear();
+    throttle_ =
+        ScanThrottle(config_.scan_fraction, config_.target_faults_per_tick);
+    scan_cursor_ = 0;
+    victim_cursor_ = 0;
+    machine.set_fault_handler(
+        [this](PageId page, memsim::Tier tier) { on_hint_fault(page, tier); });
+}
+
+void
+AutoTiering::on_hint_fault(PageId page, memsim::Tier tier)
+{
+    throttle_.on_fault();
+    ++fault_count_[page];
+    if (tier != memsim::Tier::kSlow)
+        return;
+    auto& m = machine();
+    if (m.free_pages(memsim::Tier::kFast) > 0) {
+        // OPM: opportunistic promotion on the first fault.
+        m.migrate(page, memsim::Tier::kFast);
+    } else {
+        // Fast tier full: defer to the interval's exchange pass.
+        exchange_queue_.push_back(page);
+    }
+}
+
+void
+AutoTiering::on_tick(SimTimeNs now)
+{
+    (void)now;
+    auto& m = machine();
+    const std::size_t pages = m.page_count();
+    auto window = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(pages) *
+                                    throttle_.tick()));
+    for (std::size_t i = 0; i < window; ++i) {
+        const PageId page = scan_cursor_;
+        scan_cursor_ = (scan_cursor_ + 1) % pages;
+        if (m.is_allocated(page))
+            m.set_trap(page);
+    }
+    m.charge_overhead(window * config_.scan_cost_ns);
+}
+
+PageId
+AutoTiering::find_cold_fast_page()
+{
+    // Sampled min-scan over fast-tier pages by fault count.
+    auto& m = machine();
+    const std::size_t pages = m.page_count();
+    PageId coldest = kInvalidPage;
+    std::uint32_t coldest_count = ~0u;
+    std::size_t examined = 0;
+    for (std::size_t i = 0; i < pages && examined < config_.victim_scan;
+         ++i) {
+        const PageId page = victim_cursor_;
+        victim_cursor_ = (victim_cursor_ + 1) % pages;
+        if (!m.is_allocated(page) ||
+            m.tier_of(page) != memsim::Tier::kFast) {
+            continue;
+        }
+        ++examined;
+        if (fault_count_[page] < coldest_count) {
+            coldest_count = fault_count_[page];
+            coldest = page;
+        }
+    }
+    m.charge_overhead(examined * config_.scan_cost_ns);
+    return coldest;
+}
+
+void
+AutoTiering::on_interval(SimTimeNs now)
+{
+    (void)now;
+    auto& m = machine();
+    std::size_t exchanged = 0;
+    for (PageId page : exchange_queue_) {
+        if (exchanged >= config_.exchange_limit)
+            break;
+        if (!m.is_allocated(page) ||
+            m.tier_of(page) != memsim::Tier::kSlow) {
+            continue;
+        }
+        if (m.free_pages(memsim::Tier::kFast) > 0) {
+            if (m.migrate(page, memsim::Tier::kFast))
+                ++exchanged;
+            continue;
+        }
+        const PageId victim = find_cold_fast_page();
+        if (victim == kInvalidPage)
+            break;
+        // CPM: swap only when the candidate is clearly hotter than the
+        // victim (a margin of one fault avoids ping-pong between pages
+        // of equal heat).
+        if (fault_count_[page] > fault_count_[victim] + 1) {
+            if (m.exchange(page, victim))
+                ++exchanged;
+        }
+    }
+    exchange_queue_.clear();
+
+    // Age fault counts periodically so ordering follows recent behaviour.
+    if (++interval_count_ % config_.decay_every == 0) {
+        for (auto& c : fault_count_)
+            c >>= 1;
+    }
+}
+
+}  // namespace artmem::policies

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Adaptive scan-rate throttle for hint-fault-based policies.
+ *
+ * Linux NUMA balancing adapts its scan period (numa_scan_period_min/max)
+ * to the observed fault rate so that fault handling does not swamp the
+ * application. The same mechanism is reproduced here: policies that arm
+ * hint-fault traps report the faults observed each tick, and the
+ * throttle halves the scan fraction when faults exceed the target band
+ * and doubles it when faults are scarce.
+ */
+#ifndef ARTMEM_POLICIES_SCAN_THROTTLE_HPP
+#define ARTMEM_POLICIES_SCAN_THROTTLE_HPP
+
+#include <algorithm>
+#include <cstdint>
+
+namespace artmem::policies {
+
+/** Multiplicative fault-rate controller for trap-arming policies. */
+class ScanThrottle
+{
+  public:
+    /**
+     * @param base_fraction Fraction of the address space armed per tick
+     *                      at full speed.
+     * @param target_faults Faults per tick the controller aims for.
+     */
+    ScanThrottle(double base_fraction, std::uint64_t target_faults)
+        : base_(base_fraction),
+          fraction_(base_fraction),
+          target_(target_faults)
+    {
+    }
+
+    /** Record one fault (call from the fault handler). */
+    void on_fault() { ++window_faults_; }
+
+    /**
+     * Close the tick window and adapt.
+     * @return the scan fraction to use for the next tick.
+     */
+    double
+    tick()
+    {
+        if (window_faults_ > 2 * target_)
+            fraction_ = std::max(fraction_ / 2.0, base_ / 4096.0);
+        else if (window_faults_ < target_ / 2)
+            fraction_ = std::min(fraction_ * 2.0, base_);
+        window_faults_ = 0;
+        return fraction_;
+    }
+
+    /** Current scan fraction. */
+    double fraction() const { return fraction_; }
+
+  private:
+    double base_;
+    double fraction_;
+    std::uint64_t target_;
+    std::uint64_t window_faults_ = 0;
+};
+
+}  // namespace artmem::policies
+
+#endif  // ARTMEM_POLICIES_SCAN_THROTTLE_HPP

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * The no-migration baseline: pages stay wherever first-touch placed
+ * them. Figure 2 normalizes the seven tiering systems to this static
+ * configuration.
+ */
+#ifndef ARTMEM_POLICIES_STATIC_TIERING_HPP
+#define ARTMEM_POLICIES_STATIC_TIERING_HPP
+
+#include "policies/policy.hpp"
+
+namespace artmem::policies {
+
+/** Static placement: never migrates. */
+class StaticTiering final : public Policy
+{
+  public:
+    std::string_view name() const override { return "static"; }
+};
+
+}  // namespace artmem::policies
+
+#endif  // ARTMEM_POLICIES_STATIC_TIERING_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tiering-0.8 (kernel tiering development tree) emulation.
+ *
+ * Key design reproduced (Table 1): an AutoNUMA-style hint-fault
+ * promotion pipeline whose hotness threshold (fault count needed to
+ * promote) is *reset when a workload change is detected*, where change
+ * detection watches the fast-tier hit ratio reported by the PMU. Good
+ * on workloads with high spatial locality; the fault-count accumulation
+ * misbehaves on random access.
+ */
+#ifndef ARTMEM_POLICIES_TIERING08_HPP
+#define ARTMEM_POLICIES_TIERING08_HPP
+
+#include <vector>
+
+#include "policies/policy.hpp"
+#include "policies/scan_throttle.hpp"
+
+namespace artmem::policies {
+
+/** Tiering-0.8: fault-count promotion + threshold reset on change. */
+class Tiering08 final : public Policy
+{
+  public:
+    /** Tunables. */
+    struct Config {
+        /** Fraction of the address space trap-armed per tick. */
+        double scan_fraction = 1.0 / 32.0;
+        /** Initial fault-count threshold for promotion. */
+        std::uint32_t hot_threshold = 2;
+        /** Threshold raised when promotions overflow DRAM, lowered when
+         *  DRAM underused: adjustment step. */
+        std::uint32_t threshold_step = 1;
+        /** Upper clamp for the self-tuned threshold. */
+        std::uint32_t max_threshold = 16;
+        /** Halve fault counts every N intervals. Must exceed the trap
+         *  sweep period in intervals, or counts can never reach the
+         *  promotion threshold. */
+        unsigned decay_every = 8;
+        /** Fast-ratio drop (absolute) treated as a workload change. */
+        double change_delta = 0.15;
+        /** Promotion limit per interval (pages). */
+        std::size_t promote_limit = 128;
+        /** Keep this fraction of fast tier free via cold demotion. */
+        double free_watermark = 0.01;
+        /** CPU cost per page scanned (ns). */
+        SimTimeNs scan_cost_ns = 8;
+        /** Fault-rate target per tick for adaptive scan throttling. */
+        std::uint64_t target_faults_per_tick = 150;
+    };
+
+    Tiering08() = default;
+    explicit Tiering08(const Config& config) : config_(config) {}
+
+    std::string_view name() const override { return "tiering08"; }
+
+    void init(memsim::TieredMachine& machine) override;
+    void on_hint_fault(PageId page, memsim::Tier tier) override;
+    void on_samples(std::span<const memsim::PebsSample> samples) override;
+    void on_tick(SimTimeNs now) override;
+    void on_interval(SimTimeNs now) override;
+
+    /** Current promotion threshold (tests). */
+    std::uint32_t current_threshold() const { return threshold_; }
+
+  private:
+    void demote_to_watermark();
+
+    Config config_;
+    std::vector<std::uint16_t> fault_count_;
+    std::vector<std::uint8_t> queued_;
+    std::vector<PageId> promote_queue_;
+    ScanThrottle throttle_{1.0 / 32.0, 48};
+    PageId scan_cursor_ = 0;
+    PageId demote_cursor_ = 0;
+    std::uint32_t threshold_ = 2;
+    unsigned interval_count_ = 0;
+    double last_ratio_ = 1.0;
+    std::uint64_t window_hits_[memsim::kTierCount] = {0, 0};
+};
+
+}  // namespace artmem::policies
+
+#endif  // ARTMEM_POLICIES_TIERING08_HPP

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * TPP (Transparent Page Placement, ASPLOS'23) emulation.
+ *
+ * Key designs reproduced (Table 1 of the ArtMem paper): a *lightweight
+ * proactive demotion* path that keeps a free-page headroom in the fast
+ * tier so allocations and promotions never stall (decoupled allocation
+ * and reclamation), and a promotion path driven by NUMA hint faults on
+ * slow-tier pages with an LRU-active check — a page is promoted only on
+ * its second fault inside a short window, filtering out single-touch
+ * pages. Good on stable patterns; reacts slowly to bursts of new hot
+ * pages (each page must fault twice first).
+ */
+#ifndef ARTMEM_POLICIES_TPP_HPP
+#define ARTMEM_POLICIES_TPP_HPP
+
+#include <memory>
+#include <vector>
+
+#include "lru/lru_lists.hpp"
+#include "policies/policy.hpp"
+#include "policies/scan_throttle.hpp"
+
+namespace artmem::policies {
+
+/** TPP: watermark demotion + hint-fault promotion with active check. */
+class Tpp final : public Policy
+{
+  public:
+    /** Tunables. */
+    struct Config {
+        /** Headroom kept free in the fast tier (fraction of capacity). */
+        double demotion_watermark = 0.04;
+        /** Fraction of slow-tier pages trap-armed per tick. */
+        double scan_fraction = 1.0 / 16.0;
+        /** Faults in consecutive scan sweeps required to count a slow
+         *  page as LRU-active and promote it. */
+        unsigned promote_streak = 2;
+        /** Fraction of fast-tier pages LRU-aged per tick. */
+        double age_fraction = 1.0 / 16.0;
+        /** Promotions allowed per tick (migration rate limit). */
+        std::size_t promote_limit = 3;
+        /** CPU cost per page scanned (ns). */
+        SimTimeNs scan_cost_ns = 8;
+        /** Fault-rate target per tick for adaptive scan throttling. */
+        std::uint64_t target_faults_per_tick = 150;
+    };
+
+    Tpp() = default;
+    explicit Tpp(const Config& config) : config_(config) {}
+
+    std::string_view name() const override { return "tpp"; }
+
+    void init(memsim::TieredMachine& machine) override;
+    void on_hint_fault(PageId page, memsim::Tier tier) override;
+    void on_tick(SimTimeNs now) override;
+
+  private:
+    void feed_lru(std::size_t scan_count);
+    void demote_to_watermark();
+
+    Config config_;
+    std::vector<std::uint32_t> last_sweep_;
+    std::vector<std::uint8_t> streak_;
+    std::unique_ptr<lru::LruLists> lists_;
+    ScanThrottle throttle_{1.0 / 16.0, 150};
+    PageId trap_cursor_ = 0;
+    PageId lru_cursor_ = 0;
+    std::uint32_t sweep_ = 1;
+    std::size_t promoted_this_tick_ = 0;
+    unsigned promotion_backoff_ = 0;
+    std::vector<PageId> scratch_;
+};
+
+}  // namespace artmem::policies
+
+#endif  // ARTMEM_POLICIES_TPP_HPP

@@ -1,0 +1,78 @@
+#include "rl/agent.hpp"
+
+#include "util/logging.hpp"
+
+namespace artmem::rl {
+
+TdAgent::TdAgent(int states, int actions, const AgentConfig& config,
+                 std::uint64_t seed)
+    : table_(states, actions), config_(config), rng_(seed)
+{
+    if (config.alpha <= 0.0 || config.alpha > 1.0)
+        fatal("TdAgent: alpha must be in (0,1]");
+    if (config.gamma < 0.0 || config.gamma >= 1.0)
+        fatal("TdAgent: gamma must be in [0,1)");
+    if (config.epsilon < 0.0 || config.epsilon > 1.0)
+        fatal("TdAgent: epsilon must be in [0,1]");
+}
+
+int
+TdAgent::step(double reward, int new_state)
+{
+    // Choose the next action first: SARSA's target needs it.
+    const int next_action = table_.select(new_state, config_.epsilon, rng_);
+    if (prev_state_ >= 0) {
+        double future = 0.0;
+        switch (config_.algorithm) {
+          case Algorithm::kQLearning:
+            future = table_.max_q(new_state);
+            break;
+          case Algorithm::kSarsa:
+            future = table_.at(new_state, next_action);
+            break;
+          case Algorithm::kExpectedSarsa: {
+            // E_pi[Q(s',.)] under epsilon-greedy: the greedy action with
+            // probability (1 - eps), uniform exploration otherwise.
+            double sum = 0.0;
+            for (int a = 0; a < table_.actions(); ++a)
+                sum += table_.at(new_state, a);
+            const double uniform = sum / table_.actions();
+            future = (1.0 - config_.epsilon) * table_.max_q(new_state) +
+                     config_.epsilon * uniform;
+            break;
+          }
+        }
+        double& q = table_.at(prev_state_, prev_action_);
+        q += config_.alpha * (reward + config_.gamma * future - q);
+        ++updates_;
+    }
+    prev_state_ = new_state;
+    prev_action_ = next_action;
+    return next_action;
+}
+
+void
+TdAgent::reset(int state, int action)
+{
+    prev_state_ = state;
+    prev_action_ = action;
+}
+
+void
+TdAgent::clear_history()
+{
+    prev_state_ = -1;
+    prev_action_ = -1;
+}
+
+void
+TdAgent::set_table(QTable table)
+{
+    if (table.states() != table_.states() ||
+        table.actions() != table_.actions()) {
+        fatal("TdAgent::set_table: dimension mismatch");
+    }
+    table_ = std::move(table);
+}
+
+}  // namespace artmem::rl

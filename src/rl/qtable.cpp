@@ -1,0 +1,96 @@
+#include "rl/qtable.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace artmem::rl {
+
+QTable::QTable(int states, int actions, double init)
+    : states_(states), actions_(actions)
+{
+    if (states <= 0 || actions <= 0)
+        fatal("QTable requires positive dimensions");
+    q_.assign(static_cast<std::size_t>(states) * actions, init);
+}
+
+int
+QTable::index(int state, int action) const
+{
+    if (state < 0 || state >= states_ || action < 0 || action >= actions_)
+        panic("QTable index out of range: (", state, ",", action, ") in ",
+              states_, "x", actions_);
+    return state * actions_ + action;
+}
+
+double&
+QTable::at(int state, int action)
+{
+    return q_[index(state, action)];
+}
+
+double
+QTable::at(int state, int action) const
+{
+    return q_[index(state, action)];
+}
+
+int
+QTable::best_action(int state) const
+{
+    int best = 0;
+    double best_q = at(state, 0);
+    for (int a = 1; a < actions_; ++a) {
+        const double q = at(state, a);
+        if (q > best_q) {
+            best_q = q;
+            best = a;
+        }
+    }
+    return best;
+}
+
+double
+QTable::max_q(int state) const
+{
+    return at(state, best_action(state));
+}
+
+int
+QTable::select(int state, double epsilon, Rng& rng) const
+{
+    if (rng.next_bool(epsilon))
+        return static_cast<int>(rng.next_below(actions_));
+    return best_action(state);
+}
+
+void
+QTable::save(std::ostream& os) const
+{
+    os << "qtable " << states_ << " " << actions_ << "\n";
+    for (int s = 0; s < states_; ++s) {
+        for (int a = 0; a < actions_; ++a) {
+            os << at(s, a);
+            os << (a + 1 == actions_ ? '\n' : ' ');
+        }
+    }
+}
+
+QTable
+QTable::load(std::istream& is)
+{
+    std::string magic;
+    int states = 0, actions = 0;
+    if (!(is >> magic >> states >> actions) || magic != "qtable")
+        fatal("QTable::load: malformed header");
+    QTable table(states, actions);
+    for (int s = 0; s < states; ++s)
+        for (int a = 0; a < actions; ++a)
+            if (!(is >> table.at(s, a)))
+                fatal("QTable::load: truncated table body");
+    return table;
+}
+
+}  // namespace artmem::rl

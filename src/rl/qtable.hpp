@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dense tabular Q-function with epsilon-greedy selection and text
+ * serialization (the Figure 14 robustness study reuses converged
+ * Q-tables across workloads).
+ */
+#ifndef ARTMEM_RL_QTABLE_HPP
+#define ARTMEM_RL_QTABLE_HPP
+
+#include <iosfwd>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace artmem::rl {
+
+/** A |S| x |A| table of action values. */
+class QTable
+{
+  public:
+    /** Build with every entry set to @p init. */
+    QTable(int states, int actions, double init = 0.0);
+
+    /** Mutable entry access; bounds-checked in debug via panic. */
+    double& at(int state, int action);
+
+    /** Entry value. */
+    double at(int state, int action) const;
+
+    /** Greedy action for a state; ties break toward the lowest index. */
+    int best_action(int state) const;
+
+    /** max_a Q(state, a). */
+    double max_q(int state) const;
+
+    /** Epsilon-greedy selection: explore with probability epsilon. */
+    int select(int state, double epsilon, Rng& rng) const;
+
+    /** Number of states. */
+    int states() const { return states_; }
+
+    /** Number of actions. */
+    int actions() const { return actions_; }
+
+    /** Approximate in-memory footprint in bytes (Section 6.4 check). */
+    std::size_t memory_bytes() const
+    {
+        return q_.size() * sizeof(double) + sizeof(*this);
+    }
+
+    /** Write as a text block ("qtable <S> <A>" header + rows). */
+    void save(std::ostream& os) const;
+
+    /** Parse the save() format; fatal on malformed input. */
+    static QTable load(std::istream& is);
+
+  private:
+    int index(int state, int action) const;
+
+    int states_;
+    int actions_;
+    std::vector<double> q_;
+};
+
+}  // namespace artmem::rl
+
+#endif  // ARTMEM_RL_QTABLE_HPP

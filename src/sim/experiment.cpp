@@ -1,0 +1,59 @@
+#include "sim/experiment.hpp"
+
+#include "util/logging.hpp"
+
+namespace artmem::sim {
+
+std::vector<RatioSpec>
+paper_ratios()
+{
+    return {{2, 1}, {1, 1}, {1, 2}, {1, 4}, {1, 8}, {1, 16}};
+}
+
+memsim::MachineConfig
+make_machine_config(Bytes footprint, Bytes fast_bytes, Bytes page_size)
+{
+    if (footprint == 0)
+        fatal("make_machine_config: footprint must be positive");
+    memsim::MachineConfig config;
+    config.page_size = page_size;
+    const Bytes aligned =
+        (footprint + page_size - 1) / page_size * page_size;
+    config.address_space = aligned;
+    // At least one fast page so the model stays two-tiered.
+    config.tiers[0].capacity =
+        std::max<Bytes>(page_size, fast_bytes / page_size * page_size);
+    // The slow tier can always absorb the whole footprint (512 GB PM in
+    // the paper's testbed vs <= 290 GB footprints).
+    config.tiers[1].capacity = aligned + page_size;
+    return config;
+}
+
+memsim::MachineConfig
+make_machine_config(Bytes footprint, const RatioSpec& ratio, Bytes page_size)
+{
+    const auto fast_bytes = static_cast<Bytes>(
+        static_cast<double>(footprint) * ratio.fast_fraction());
+    return make_machine_config(footprint, fast_bytes, page_size);
+}
+
+RunResult
+run_experiment(const RunSpec& spec)
+{
+    auto policy = make_policy(spec.policy, spec.seed);
+    return run_experiment(spec, *policy);
+}
+
+RunResult
+run_experiment(const RunSpec& spec, policies::Policy& policy)
+{
+    const Bytes page_size = 2ull << 20;
+    auto gen = workloads::make_workload(spec.workload, page_size,
+                                        spec.accesses, spec.seed);
+    auto machine_config =
+        make_machine_config(gen->footprint(), spec.ratio, page_size);
+    memsim::TieredMachine machine(machine_config);
+    return run_simulation(*gen, policy, machine, spec.engine);
+}
+
+}  // namespace artmem::sim

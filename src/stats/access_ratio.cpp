@@ -1,0 +1,43 @@
+#include "stats/access_ratio.hpp"
+
+#include "util/logging.hpp"
+
+namespace artmem::stats {
+
+AccessRatioTracker::AccessRatioTracker(int k) : k_(k)
+{
+    if (k <= 0)
+        fatal("AccessRatioTracker: k must be positive");
+}
+
+TauState
+AccessRatioTracker::peek() const
+{
+    TauState out;
+    const std::uint64_t fast = hits_[0];
+    const std::uint64_t slow = hits_[1];
+    const std::uint64_t total = fast + slow;
+    out.samples = total;
+    if (total == 0) {
+        // Dedicated no-sample state (paper: state k+1).
+        out.state = k_ + 1;
+        out.raw_ratio = 1.0;
+        return out;
+    }
+    out.raw_ratio = static_cast<double>(fast) / static_cast<double>(total);
+    // Equation 1: tau = floor(fast * k / (fast + slow)).
+    out.state = static_cast<int>((fast * static_cast<std::uint64_t>(k_)) /
+                                 total);
+    return out;
+}
+
+TauState
+AccessRatioTracker::take()
+{
+    TauState out = peek();
+    hits_[0] = 0;
+    hits_[1] = 0;
+    return out;
+}
+
+}  // namespace artmem::stats

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fast-tier access-ratio tracking and discretization into the RL state.
+ *
+ * The paper's Equation 1 maps the sampled DRAM access ratio of a period
+ * into k+1 discrete states [0..k]; a separate state (k+1) distinguishes
+ * "no events sampled" (e.g. everything hit in cache) from "all accesses
+ * went to the slow tier", both of which would otherwise read as 0.
+ */
+#ifndef ARTMEM_STATS_ACCESS_RATIO_HPP
+#define ARTMEM_STATS_ACCESS_RATIO_HPP
+
+#include <cstdint>
+
+#include "memsim/tier.hpp"
+
+namespace artmem::stats {
+
+/** Discretized access-ratio observation. */
+struct TauState {
+    /** State index in [0, k+1]; k+1 is the "no samples" state. */
+    int state = 0;
+    /** Raw ratio in [0,1]; 1.0 when there were no samples. */
+    double raw_ratio = 1.0;
+    /** Samples observed in the window. */
+    std::uint64_t samples = 0;
+
+    /** True when this is the dedicated no-sample state. */
+    bool no_samples(int k) const { return state == k + 1; }
+};
+
+/** Accumulates per-window sampled tier hits and emits TauState. */
+class AccessRatioTracker
+{
+  public:
+    /** @param k Discretization granularity (paper uses k = 10). */
+    explicit AccessRatioTracker(int k);
+
+    /** Record one sampled access from @p tier. */
+    void
+    record(memsim::Tier tier)
+    {
+        ++hits_[static_cast<int>(tier)];
+    }
+
+    /** Discretization granularity. */
+    int k() const { return k_; }
+
+    /** Compute Equation 1 for the current window and reset it. */
+    TauState take();
+
+    /** Compute Equation 1 without resetting. */
+    TauState peek() const;
+
+  private:
+    int k_;
+    std::uint64_t hits_[memsim::kTierCount] = {0, 0};
+};
+
+}  // namespace artmem::stats
+
+#endif  // ARTMEM_STATS_ACCESS_RATIO_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tiny command-line flag parser shared by the bench harnesses and
+ * examples. Supports --name=value and boolean --name forms.
+ */
+#ifndef ARTMEM_UTIL_CLI_HPP
+#define ARTMEM_UTIL_CLI_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace artmem {
+
+/** Parsed command line: flags plus positional arguments. */
+class CliArgs
+{
+  public:
+    /** Parse argv; unknown flags are kept (harnesses share flag sets). */
+    static CliArgs parse(int argc, char** argv);
+
+    /** True if --name was given (with or without a value). */
+    bool has(const std::string& name) const;
+
+    /** String flag with default. */
+    std::string get_string(const std::string& name,
+                           const std::string& fallback) const;
+
+    /** Integer flag with default; fatal if malformed. */
+    long long get_int(const std::string& name, long long fallback) const;
+
+    /** Double flag with default; fatal if malformed. */
+    double get_double(const std::string& name, double fallback) const;
+
+    /** Boolean flag: present without value or with true/false. */
+    bool get_bool(const std::string& name, bool fallback) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string>& positional() const { return positional_; }
+
+    /** Program name (argv[0]). */
+    const std::string& program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace artmem
+
+#endif  // ARTMEM_UTIL_CLI_HPP

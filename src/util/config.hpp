@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal key=value configuration store, in the spirit of MASIM's plain
+ * text workload configs. Supports '#' comments, section-free files, and
+ * typed getters with defaults.
+ */
+#ifndef ARTMEM_UTIL_CONFIG_HPP
+#define ARTMEM_UTIL_CONFIG_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace artmem {
+
+/** A flat string-to-string configuration map with typed accessors. */
+class KvConfig
+{
+  public:
+    KvConfig() = default;
+
+    /** Parse "key = value" lines (comments with '#'); fatal on syntax error. */
+    static KvConfig parse(std::string_view text);
+
+    /** Load and parse a file; fatal if unreadable. */
+    static KvConfig load(const std::string& path);
+
+    /** Set or overwrite a key. */
+    void set(std::string key, std::string value);
+
+    /** True if the key exists. */
+    bool has(const std::string& key) const;
+
+    /** Raw string lookup. */
+    std::optional<std::string> get(const std::string& key) const;
+
+    /** String with default. */
+    std::string get_string(const std::string& key,
+                           const std::string& fallback) const;
+
+    /** Integer with default; fatal if present but not parseable. */
+    long long get_int(const std::string& key, long long fallback) const;
+
+    /** Double with default; fatal if present but not parseable. */
+    double get_double(const std::string& key, double fallback) const;
+
+    /** Boolean with default; accepts true/false/1/0/yes/no. */
+    bool get_bool(const std::string& key, bool fallback) const;
+
+    /** Number of keys. */
+    std::size_t size() const { return values_.size(); }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+}  // namespace artmem
+
+#endif  // ARTMEM_UTIL_CONFIG_HPP

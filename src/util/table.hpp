@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Aligned text-table printer used by the bench harnesses to emit the
+ * rows/series of each paper table and figure, plus CSV output for
+ * downstream plotting.
+ */
+#ifndef ARTMEM_UTIL_TABLE_HPP
+#define ARTMEM_UTIL_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace artmem {
+
+/** Collects rows of string cells and prints them column-aligned. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a fully formed row; must match the header width. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Begin building a row cell-by-cell. */
+    Table& row();
+
+    /** Append a string cell to the row under construction. */
+    Table& cell(std::string value);
+
+    /** Append a numeric cell with fixed precision. */
+    Table& cell(double value, int precision = 3);
+
+    /** Append an integer cell. */
+    Table& cell(std::uint64_t value);
+
+    /** Number of data rows. */
+    std::size_t row_count() const { return rows_.size(); }
+
+    /** Print aligned with a separator rule under the header. */
+    void print(std::ostream& os);
+
+    /** Print as CSV (comma-separated, no quoting of commas needed here). */
+    void print_csv(std::ostream& os);
+
+  private:
+    void flush_pending();
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> pending_;
+    bool has_pending_ = false;
+};
+
+/** Format a double with fixed precision into a string. */
+std::string format_fixed(double value, int precision);
+
+}  // namespace artmem
+
+#endif  // ARTMEM_UTIL_TABLE_HPP

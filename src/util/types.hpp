@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Common scalar types shared across the ArtMem reproduction.
+ */
+#ifndef ARTMEM_UTIL_TYPES_HPP
+#define ARTMEM_UTIL_TYPES_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace artmem {
+
+/** Index of a (huge) page inside a simulated virtual address space. */
+using PageId = std::uint32_t;
+
+/** Simulated time in nanoseconds. */
+using SimTimeNs = std::uint64_t;
+
+/** Count of bytes. */
+using Bytes = std::uint64_t;
+
+/** Sentinel for "no page". */
+inline constexpr PageId kInvalidPage = ~PageId{0};
+
+/** Handy byte-size literals. */
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return v << 10; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return v << 20; }
+inline constexpr Bytes operator""_GiB(unsigned long long v) { return v << 30; }
+
+/** Handy simulated-time literals. */
+inline constexpr SimTimeNs operator""_us(unsigned long long v) { return v * 1000ull; }
+inline constexpr SimTimeNs operator""_ms(unsigned long long v) { return v * 1000000ull; }
+inline constexpr SimTimeNs operator""_s(unsigned long long v) { return v * 1000000000ull; }
+
+}  // namespace artmem
+
+#endif  // ARTMEM_UTIL_TYPES_HPP

@@ -1,0 +1,64 @@
+#include "util/zipf.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace artmem {
+
+double
+ZipfianGenerator::zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    // Direct summation; n is bounded in our use (region/item counts).
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    if (n == 0)
+        fatal("ZipfianGenerator requires at least one item");
+    if (theta <= 0.0 || theta >= 1.0)
+        fatal("ZipfianGenerator theta must be in (0,1), got ", theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    zetan_ = zeta(n_, theta_);
+    zeta2theta_ = zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2theta_ / zetan_);
+}
+
+std::uint64_t
+ZipfianGenerator::next(Rng& rng)
+{
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(std::uint64_t n,
+                                                     double theta)
+    : base_(n, theta), n_(n)
+{
+}
+
+std::uint64_t
+ScrambledZipfianGenerator::next(Rng& rng)
+{
+    std::uint64_t rank = base_.next(rng);
+    // FNV-1a style scramble of the rank, folded back into [0, n).
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = (h ^ rank) * 0x100000001b3ull;
+    h ^= h >> 33;
+    return h % n_;
+}
+
+}  // namespace artmem

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Zipfian distribution sampler.
+ *
+ * Used by the YCSB-like key-value workload and the skewed-region
+ * generators; memory access frequencies typically follow a Zipfian or
+ * Pareto distribution (ArtMem paper Section 4.3, citing [8, 10]).
+ */
+#ifndef ARTMEM_UTIL_ZIPF_HPP
+#define ARTMEM_UTIL_ZIPF_HPP
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace artmem {
+
+/**
+ * Zipfian sampler over [0, n) with exponent theta, using the
+ * Gray et al. "quick and portable" method popularized by YCSB's
+ * ZipfianGenerator. Draws are O(1).
+ */
+class ZipfianGenerator
+{
+  public:
+    /**
+     * @param n     Number of items (must be >= 1).
+     * @param theta Skew parameter in (0, 1); YCSB default is 0.99.
+     */
+    ZipfianGenerator(std::uint64_t n, double theta = 0.99);
+
+    /** Draw the next item rank; rank 0 is the most popular item. */
+    std::uint64_t next(Rng& rng);
+
+    /** Number of items. */
+    std::uint64_t item_count() const { return n_; }
+
+    /** Skew exponent. */
+    double theta() const { return theta_; }
+
+  private:
+    static double zeta(std::uint64_t n, double theta);
+
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    double zeta2theta_;
+};
+
+/**
+ * A "scrambled" Zipfian: Zipfian ranks hashed across the key space, so
+ * the popular items are spread uniformly over the address range, as in
+ * YCSB's ScrambledZipfianGenerator.
+ */
+class ScrambledZipfianGenerator
+{
+  public:
+    ScrambledZipfianGenerator(std::uint64_t n, double theta = 0.99);
+
+    /** Draw the next item id in [0, n). */
+    std::uint64_t next(Rng& rng);
+
+  private:
+    ZipfianGenerator base_;
+    std::uint64_t n_;
+};
+
+}  // namespace artmem
+
+#endif  // ARTMEM_UTIL_ZIPF_HPP

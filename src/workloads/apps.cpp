@@ -1,0 +1,84 @@
+#include "workloads/apps.hpp"
+
+namespace artmem::workloads {
+
+namespace {
+
+constexpr Bytes kGiB = 1ull << 30;
+
+}  // namespace
+
+MasimSpec
+xsbench_spec(std::uint64_t total_accesses)
+{
+    MasimSpec spec;
+    spec.name = "xsbench";
+    spec.footprint = 69 * kGiB;
+    // The unionized energy grid index (~3 GiB here) absorbs most of the
+    // accesses of every cross-section lookup; the nuclide grids are
+    // touched nearly uniformly.
+    MasimPhase phase;
+    phase.accesses = total_accesses;
+    phase.regions = {
+        {32 * kGiB, 3 * kGiB, 55.0, false},   // hot unionized grid index
+        {0, 69 * kGiB, 45.0, false},          // random nuclide grid reads
+    };
+    spec.phases.push_back(std::move(phase));
+    return spec;
+}
+
+MasimSpec
+dlrm_spec(std::uint64_t total_accesses)
+{
+    MasimSpec spec;
+    spec.name = "dlrm";
+    spec.footprint = 72 * kGiB;
+    // ~70 GiB of embedding tables with nearly uniform gathers ("largely
+    // unskewed", Section 6.2) plus a few popular-feature rows; the dense
+    // MLP parameters/activations are small (~2 GiB) and swept
+    // sequentially in every forward/backward pass.
+    MasimPhase phase;
+    phase.accesses = total_accesses;
+    phase.regions = {
+        {70 * kGiB, 2 * kGiB, 30.0, true},    // dense MLP sweep
+        {0, 70 * kGiB, 60.0, false},          // embedding gathers
+        {24 * kGiB, 1 * kGiB, 10.0, false},   // popular embedding rows
+    };
+    spec.phases.push_back(std::move(phase));
+    return spec;
+}
+
+MasimSpec
+liblinear_spec(std::uint64_t total_accesses)
+{
+    MasimSpec spec;
+    spec.name = "liblinear";
+    spec.footprint = 68 * kGiB;
+    const std::uint64_t load_accesses = total_accesses / 10;
+    const std::uint64_t early_accesses = (total_accesses * 3) / 10;
+    // Phase 1: sequential dataset load.
+    MasimPhase load;
+    load.accesses = load_accesses;
+    load.regions = {{0, 68 * kGiB, 1.0, true}};
+    spec.phases.push_back(std::move(load));
+    // Phase 2: early gradient descent, relatively uniform access — no
+    // page clears a high hotness threshold.
+    MasimPhase early;
+    early.accesses = early_accesses;
+    early.regions = {
+        {0, 68 * kGiB, 70.0, false},
+        {10 * kGiB, 14 * kGiB, 30.0, false},  // warm pages (counts 8..16)
+    };
+    spec.phases.push_back(std::move(early));
+    // Phase 3: the warm region becomes the hot working set.
+    MasimPhase hot;
+    hot.accesses = total_accesses - load_accesses - early_accesses;
+    hot.regions = {
+        {10 * kGiB, 14 * kGiB, 80.0, false},
+        {0, 68 * kGiB, 20.0, false},
+    };
+    spec.phases.push_back(std::move(hot));
+    return spec;
+}
+
+}  // namespace artmem::workloads

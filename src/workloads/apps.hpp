@@ -1,0 +1,37 @@
+/**
+ * @file
+ * MASIM-spec factories for the remaining Table 3 applications whose
+ * page-level behaviour is well described as phased region mixes:
+ *
+ *  - XSBench (69 GiB): Monte Carlo macroscopic cross-section lookups —
+ *    every lookup binary-searches the small, intensely hot unionized
+ *    energy grid index and then reads a random nuclide grid point from
+ *    the huge cold remainder;
+ *  - DLRM (72 GiB): embedding-table gathers that are "largely unskewed,
+ *    with only a few hot memory regions", plus dense MLP parameters and
+ *    activations that are swept sequentially every iteration;
+ *  - Liblinear (68 GiB, KDD12): a sequential data-load sweep, then an
+ *    early gradient-descent phase with near-uniform access ("no
+ *    extremely hot pages"), after which a hot working set emerges —
+ *    the pages MEMTIS promotes early (counts 8..16) and ArtMem's
+ *    threshold initially skips (Section 6.2's Liblinear discussion).
+ */
+#ifndef ARTMEM_WORKLOADS_APPS_HPP
+#define ARTMEM_WORKLOADS_APPS_HPP
+
+#include "workloads/masim.hpp"
+
+namespace artmem::workloads {
+
+/** XSBench spec (paper footprint: 69 GiB). */
+MasimSpec xsbench_spec(std::uint64_t total_accesses);
+
+/** DLRM training spec (72 GiB). */
+MasimSpec dlrm_spec(std::uint64_t total_accesses);
+
+/** Liblinear/KDD12 spec (68 GiB). */
+MasimSpec liblinear_spec(std::uint64_t total_accesses);
+
+}  // namespace artmem::workloads
+
+#endif  // ARTMEM_WORKLOADS_APPS_HPP

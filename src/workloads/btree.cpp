@@ -1,0 +1,82 @@
+#include "workloads/btree.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace artmem::workloads {
+
+Btree::Btree(const Params& params, Bytes page_size, std::uint64_t seed)
+    : params_(params), page_size_(page_size), rng_(seed)
+{
+    if (params_.fanout < 2)
+        fatal("Btree: fanout must be at least 2");
+    if (params_.node_size == 0 || params_.node_size > page_size_)
+        fatal("Btree: node_size must be in (0, page_size]");
+    // Build levels top-down until the cumulative size fills the
+    // footprint; the last (largest) level becomes the leaves.
+    Bytes used = 0;
+    std::uint64_t nodes = 1;
+    while (true) {
+        const Bytes level_bytes = nodes * params_.node_size;
+        if (used + level_bytes > params_.footprint) {
+            // Truncate the final level to exactly fill the footprint.
+            const std::uint64_t fit =
+                (params_.footprint - used) / params_.node_size;
+            if (fit > 0) {
+                level_base_.push_back(used);
+                level_nodes_.push_back(fit);
+            }
+            break;
+        }
+        level_base_.push_back(used);
+        level_nodes_.push_back(nodes);
+        used += level_bytes;
+        nodes *= params_.fanout;
+    }
+    if (level_base_.size() < 2)
+        fatal("Btree: footprint too small for one inner level + leaves");
+    leaf_count_ = level_nodes_.back();
+    // Key skew is applied over coarse leaf blocks so the Zipfian zeta
+    // precomputation stays cheap even with millions of leaves.
+    leaf_blocks_ = std::min<std::uint64_t>(leaf_count_, 1u << 16);
+    block_size_ = (leaf_count_ + leaf_blocks_ - 1) / leaf_blocks_;
+    const double theta = std::clamp(params_.key_theta, 1e-9, 0.999);
+    zipf_ = std::make_unique<ZipfianGenerator>(leaf_blocks_, theta);
+}
+
+std::size_t
+Btree::fill(std::span<PageId> out)
+{
+    std::size_t produced = 0;
+    while (produced < out.size()) {
+        // Drain a partially emitted lookup path first.
+        if (pending_pos_ < pending_.size()) {
+            out[produced++] = pending_[pending_pos_++];
+            continue;
+        }
+        if (emitted_ >= params_.total_accesses)
+            break;
+        // One lookup: root-to-leaf descent toward a (skewed-)random leaf.
+        const std::uint64_t block = zipf_->next(rng_);
+        const std::uint64_t leaf = std::min<std::uint64_t>(
+            block * block_size_ + rng_.next_below(block_size_),
+            leaf_count_ - 1);
+        pending_.clear();
+        pending_pos_ = 0;
+        const std::size_t depth = level_base_.size();
+        for (std::size_t level = 0; level < depth; ++level) {
+            // The ancestor of `leaf` at this level.
+            std::uint64_t node = leaf;
+            for (std::size_t below = level; below + 1 < depth; ++below)
+                node /= params_.fanout;
+            node %= level_nodes_[level];
+            const Bytes addr = level_base_[level] + node * params_.node_size;
+            pending_.push_back(static_cast<PageId>(addr / page_size_));
+        }
+        emitted_ += pending_.size();
+    }
+    return produced;
+}
+
+}  // namespace artmem::workloads

@@ -1,0 +1,107 @@
+#include "workloads/patterns.hpp"
+
+#include "util/logging.hpp"
+
+namespace artmem::workloads {
+
+namespace {
+
+constexpr Bytes kGiB = 1ull << 30;
+constexpr Bytes kMiB = 1ull << 20;
+constexpr Bytes kFootprint = 32 * kGiB;
+
+MasimSpec
+make_s1(std::uint64_t total)
+{
+    // Two 500 MiB hot regions in the slow-allocated half of the
+    // footprint receive > 90% of accesses; the rest is background.
+    MasimSpec spec;
+    spec.name = "s1";
+    spec.footprint = kFootprint;
+    MasimPhase phase;
+    phase.accesses = total;
+    phase.regions = {
+        {20 * kGiB, 500 * kMiB, 48.5, false},
+        {30 * kGiB, 500 * kMiB, 48.5, false},
+        {0, kFootprint, 3.0, false},
+    };
+    spec.phases.push_back(std::move(phase));
+    return spec;
+}
+
+MasimSpec
+make_s2(std::uint64_t total)
+{
+    // Eight phases; in each, one 2 GiB region is intensely hot and is
+    // never accessed again afterwards.
+    MasimSpec spec;
+    spec.name = "s2";
+    spec.footprint = kFootprint;
+    constexpr int kPhases = 8;
+    for (int i = 0; i < kPhases; ++i) {
+        MasimPhase phase;
+        phase.accesses = total / kPhases;
+        const Bytes offset = static_cast<Bytes>(i) * 4 * kGiB;
+        phase.regions = {
+            {offset, 2 * kGiB, 94.0, false},
+            {0, kFootprint, 6.0, false},
+        };
+        spec.phases.push_back(std::move(phase));
+    }
+    return spec;
+}
+
+MasimSpec
+make_s3(std::uint64_t total)
+{
+    MasimSpec spec;
+    spec.name = "s3";
+    spec.footprint = kFootprint;
+    MasimPhase phase;
+    phase.accesses = total;
+    phase.regions = {
+        {18 * kGiB, 12 * kGiB, 97.0, false},
+        {0, kFootprint, 3.0, false},
+    };
+    spec.phases.push_back(std::move(phase));
+    return spec;
+}
+
+MasimSpec
+make_s4(std::uint64_t total)
+{
+    // 20 GiB hot region at roughly half S3's per-page heat
+    // (0.80/20GiB vs 0.95/12GiB per GiB).
+    MasimSpec spec;
+    spec.name = "s4";
+    spec.footprint = kFootprint;
+    MasimPhase phase;
+    phase.accesses = total;
+    phase.regions = {
+        {8 * kGiB, 20 * kGiB, 90.0, false},
+        {0, kFootprint, 10.0, false},
+    };
+    spec.phases.push_back(std::move(phase));
+    return spec;
+}
+
+}  // namespace
+
+MasimSpec
+pattern_spec(int k, std::uint64_t total_accesses)
+{
+    switch (k) {
+      case 1:
+        return make_s1(total_accesses);
+      case 2:
+        return make_s2(total_accesses);
+      case 3:
+        return make_s3(total_accesses);
+      case 4:
+        return make_s4(total_accesses);
+      default:
+        fatal("pattern_spec: k must be in [1,4], got ", k);
+    }
+}
+
+}  // namespace artmem::workloads

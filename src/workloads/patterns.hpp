@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The four manually generated access patterns of Figure 1, expressed
+ * as MASIM specs over a 32 GiB footprint (the motivation study runs
+ * them against 16 GiB of fast memory):
+ *
+ *  - S1: high locality — two 500 MiB hot regions take > 90% of accesses;
+ *  - S2: transient locality — a region is hot for one phase and then
+ *        never accessed again (recency matters, frequency misleads);
+ *  - S3: one 12 GiB hot region (fits in DRAM; identification speed
+ *        dominates);
+ *  - S4: one 20 GiB hot region at half S3's per-page heat (exceeds
+ *        DRAM; thrashing avoidance dominates).
+ */
+#ifndef ARTMEM_WORKLOADS_PATTERNS_HPP
+#define ARTMEM_WORKLOADS_PATTERNS_HPP
+
+#include "workloads/masim.hpp"
+
+namespace artmem::workloads {
+
+/** Number of synthetic patterns. */
+inline constexpr int kPatternCount = 4;
+
+/**
+ * Build the spec of pattern S_k (1-based, k in [1,4]).
+ * @param total_accesses Access budget of the run.
+ */
+MasimSpec pattern_spec(int k, std::uint64_t total_accesses);
+
+}  // namespace artmem::workloads
+
+#endif  // ARTMEM_WORKLOADS_PATTERNS_HPP

@@ -1,0 +1,78 @@
+#include "workloads/ycsb.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace artmem::workloads {
+
+namespace {
+
+/** Phase order the paper runs: A, B, C, F, D. */
+constexpr char kPhaseOrder[] = {'A', 'B', 'C', 'F', 'D'};
+constexpr int kPhases = 5;
+
+}  // namespace
+
+Ycsb::Ycsb(const Params& params, Bytes page_size, std::uint64_t seed)
+    : params_(params), page_size_(page_size), rng_(seed)
+{
+    if (params_.footprint == 0 || page_size_ == 0)
+        fatal("Ycsb: footprint and page size must be positive");
+    if (params_.initial_fill <= 0.0 || params_.initial_fill > 1.0)
+        fatal("Ycsb: initial_fill must be in (0,1]");
+    arena_pages_ = static_cast<PageId>(
+        (params_.footprint + page_size_ - 1) / page_size_);
+    populated_pages_ = std::max<PageId>(
+        1, static_cast<PageId>(static_cast<double>(arena_pages_) *
+                               params_.initial_fill));
+    zipf_ = std::make_unique<ZipfianGenerator>(populated_pages_,
+                                               params_.zipf_theta);
+}
+
+char
+Ycsb::current_phase() const
+{
+    const std::uint64_t per_phase =
+        std::max<std::uint64_t>(1, params_.total_accesses / kPhases);
+    const auto idx =
+        std::min<std::uint64_t>(emitted_ / per_phase, kPhases - 1);
+    return kPhaseOrder[idx];
+}
+
+std::size_t
+Ycsb::fill(std::span<PageId> out)
+{
+    const std::uint64_t budget = params_.total_accesses - emitted_;
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(budget, out.size()));
+    for (std::size_t i = 0; i < n; ++i) {
+        // Database population: one sequential sweep establishing the
+        // slab arena before the A-B-C-F-D phases run.
+        if (load_cursor_ < populated_pages_) {
+            out[i] = load_cursor_++;
+            ++emitted_;
+            continue;
+        }
+        const char phase = current_phase();
+        const PageId rank = static_cast<PageId>(zipf_->next(rng_));
+        if (phase == 'D') {
+            // Latest distribution: popularity tracks recent inserts;
+            // 5% of operations insert a new key at the arena top.
+            if (populated_pages_ < arena_pages_ && rng_.next_bool(0.05))
+                ++populated_pages_;
+            out[i] = rank < populated_pages_
+                         ? populated_pages_ - 1 - rank
+                         : 0;
+        } else {
+            // Zipfian over the insertion-ordered key space. Workloads
+            // A/B/C/F differ in read/write mix, which is irrelevant to
+            // page placement; all touch pages with the same skew.
+            out[i] = rank;
+        }
+        ++emitted_;
+    }
+    return n;
+}
+
+}  // namespace artmem::workloads

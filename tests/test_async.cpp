@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Concurrency tests for the asynchronous sampling path (Section 4.4):
+ * a real producer thread and the AsyncSampler's background drainer
+ * exchanging PEBS records through the lock-free ring buffer.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "memsim/async_sampler.hpp"
+
+namespace artmem::memsim {
+namespace {
+
+TEST(AsyncSampler, DeliversEverythingPublished)
+{
+    std::atomic<std::uint64_t> received{0};
+    std::atomic<std::uint64_t> checksum{0};
+    AsyncSampler sampler(1 << 12, [&](std::span<const PebsSample> batch) {
+        for (const auto& s : batch) {
+            received.fetch_add(1, std::memory_order_relaxed);
+            checksum.fetch_add(s.page, std::memory_order_relaxed);
+        }
+    });
+
+    std::uint64_t published = 0, expected_sum = 0;
+    for (PageId p = 0; p < 100000; ++p) {
+        if (sampler.publish(p, Tier::kFast)) {
+            ++published;
+            expected_sum += p;
+        }
+    }
+    sampler.stop();
+    EXPECT_EQ(received.load(), published);
+    EXPECT_EQ(checksum.load(), expected_sum);
+    EXPECT_EQ(sampler.delivered(), published);
+    EXPECT_EQ(published + sampler.dropped(), 100000u);
+}
+
+TEST(AsyncSampler, HandlerRunsOffTheProducerThread)
+{
+    std::atomic<bool> seen_other_thread{false};
+    const auto producer_id = std::this_thread::get_id();
+    AsyncSampler sampler(1 << 10, [&](std::span<const PebsSample>) {
+        if (std::this_thread::get_id() != producer_id)
+            seen_other_thread.store(true, std::memory_order_relaxed);
+    });
+    for (PageId p = 0; p < 10000; ++p)
+        sampler.publish(p, Tier::kSlow);
+    sampler.stop();
+    EXPECT_TRUE(seen_other_thread.load());
+}
+
+TEST(AsyncSampler, StopIsIdempotent)
+{
+    AsyncSampler sampler(64, [](std::span<const PebsSample>) {});
+    sampler.publish(1, Tier::kFast);
+    sampler.stop();
+    sampler.stop();  // second stop must be a no-op
+    EXPECT_LE(sampler.dropped(), 1u);
+}
+
+TEST(AsyncSampler, DropsUnderSustainedOverload)
+{
+    // A tiny buffer with a slow consumer must shed load rather than
+    // block the producer (the PEBS overflow semantics).
+    AsyncSampler sampler(
+        16,
+        [](std::span<const PebsSample>) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        },
+        std::chrono::microseconds(200));
+    for (PageId p = 0; p < 50000; ++p)
+        sampler.publish(p, Tier::kFast);
+    sampler.stop();
+    EXPECT_GT(sampler.dropped(), 0u);
+    EXPECT_EQ(sampler.delivered() + sampler.dropped(), 50000u);
+}
+
+}  // namespace
+}  // namespace artmem::memsim

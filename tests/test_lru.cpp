@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the active/inactive LRU list substrate.
+ */
+#include <gtest/gtest.h>
+
+#include "lru/lru_lists.hpp"
+
+namespace artmem::lru {
+namespace {
+
+using memsim::Tier;
+
+TEST(ListId, MappingHelpers)
+{
+    EXPECT_EQ(list_id(Tier::kFast, true), ListId::kFastActive);
+    EXPECT_EQ(list_id(Tier::kFast, false), ListId::kFastInactive);
+    EXPECT_EQ(list_id(Tier::kSlow, true), ListId::kSlowActive);
+    EXPECT_EQ(list_id(Tier::kSlow, false), ListId::kSlowInactive);
+    EXPECT_EQ(list_tier(ListId::kSlowActive), Tier::kSlow);
+    EXPECT_TRUE(list_active(ListId::kFastActive));
+    EXPECT_FALSE(list_active(ListId::kSlowInactive));
+}
+
+TEST(LruLists, InsertHeadOrdering)
+{
+    LruLists l(8);
+    l.insert_head(1, ListId::kFastActive);
+    l.insert_head(2, ListId::kFastActive);
+    l.insert_head(3, ListId::kFastActive);
+    EXPECT_EQ(l.head(ListId::kFastActive), 3u);
+    EXPECT_EQ(l.tail(ListId::kFastActive), 1u);
+    EXPECT_EQ(l.next(3), 2u);
+    EXPECT_EQ(l.prev(1), 2u);
+    EXPECT_EQ(l.size(ListId::kFastActive), 3u);
+}
+
+TEST(LruLists, InsertTailOrdering)
+{
+    LruLists l(8);
+    l.insert_tail(1, ListId::kSlowInactive);
+    l.insert_tail(2, ListId::kSlowInactive);
+    EXPECT_EQ(l.head(ListId::kSlowInactive), 1u);
+    EXPECT_EQ(l.tail(ListId::kSlowInactive), 2u);
+}
+
+TEST(LruLists, RemoveRelinks)
+{
+    LruLists l(8);
+    for (PageId p : {1, 2, 3})
+        l.insert_head(p, ListId::kFastActive);
+    l.remove(2);
+    EXPECT_EQ(l.where(2), ListId::kNone);
+    EXPECT_EQ(l.next(3), 1u);
+    EXPECT_EQ(l.prev(1), 3u);
+    EXPECT_EQ(l.size(ListId::kFastActive), 2u);
+    // Removing an unlinked page is a no-op.
+    l.remove(2);
+    EXPECT_EQ(l.size(ListId::kFastActive), 2u);
+}
+
+TEST(LruLists, RemoveHeadAndTail)
+{
+    LruLists l(8);
+    for (PageId p : {1, 2, 3})
+        l.insert_head(p, ListId::kFastActive);
+    l.remove(3);  // head
+    EXPECT_EQ(l.head(ListId::kFastActive), 2u);
+    l.remove(1);  // tail
+    EXPECT_EQ(l.tail(ListId::kFastActive), 2u);
+    l.remove(2);  // only element
+    EXPECT_EQ(l.head(ListId::kFastActive), kInvalidPage);
+    EXPECT_EQ(l.tail(ListId::kFastActive), kInvalidPage);
+}
+
+TEST(LruLists, TouchInsertsUnlinkedOnInactive)
+{
+    LruLists l(8);
+    l.touch(4, Tier::kSlow);
+    EXPECT_EQ(l.where(4), ListId::kSlowInactive);
+    EXPECT_TRUE(l.referenced(4));
+}
+
+TEST(LruLists, SecondTouchActivates)
+{
+    LruLists l(8);
+    l.touch(4, Tier::kSlow);
+    l.touch(4, Tier::kSlow);
+    EXPECT_EQ(l.where(4), ListId::kSlowActive);
+}
+
+TEST(LruLists, TouchRotatesActiveToHead)
+{
+    LruLists l(8);
+    l.insert_head(1, ListId::kFastActive);
+    l.insert_head(2, ListId::kFastActive);
+    l.touch(1, Tier::kFast);
+    EXPECT_EQ(l.head(ListId::kFastActive), 1u);
+}
+
+TEST(LruLists, TouchRehomesAfterMigration)
+{
+    LruLists l(8);
+    l.insert_head(1, ListId::kSlowActive);
+    // The page migrated to fast since; the next touch re-homes it.
+    l.touch(1, Tier::kFast);
+    EXPECT_EQ(l.where(1), ListId::kFastActive);
+}
+
+TEST(LruLists, AgeActiveDeactivatesUnreferenced)
+{
+    LruLists l(8);
+    for (PageId p : {1, 2, 3})
+        l.insert_head(p, ListId::kFastActive);
+    l.set_referenced(1);  // tail is referenced: gets a second chance
+    const auto deactivated = l.age_active(Tier::kFast, 3);
+    EXPECT_EQ(deactivated, 2u);
+    EXPECT_EQ(l.where(1), ListId::kFastActive);
+    EXPECT_EQ(l.where(2), ListId::kFastInactive);
+    EXPECT_EQ(l.where(3), ListId::kFastInactive);
+    EXPECT_FALSE(l.referenced(1));  // second chance consumed the bit
+}
+
+TEST(LruLists, ScanInactiveSplitsReferenced)
+{
+    LruLists l(8);
+    l.insert_head(1, ListId::kFastInactive);
+    l.insert_head(2, ListId::kFastInactive);
+    l.set_referenced(2);
+    std::vector<PageId> candidates;
+    const auto n = l.scan_inactive(Tier::kFast, 2, candidates);
+    EXPECT_EQ(n, 1u);
+    ASSERT_EQ(candidates.size(), 1u);
+    EXPECT_EQ(candidates[0], 1u);          // unreferenced: candidate
+    EXPECT_EQ(l.where(2), ListId::kFastActive);  // referenced: activated
+}
+
+TEST(LruLists, SizesStayConsistentUnderChurn)
+{
+    LruLists l(64);
+    // Property: after arbitrary operations, sum of list sizes equals
+    // the number of linked pages and traversals match sizes.
+    for (PageId p = 0; p < 64; ++p)
+        l.touch(p, p % 2 ? Tier::kFast : Tier::kSlow);
+    for (PageId p = 0; p < 64; p += 3)
+        l.touch(p, p % 2 ? Tier::kFast : Tier::kSlow);
+    for (PageId p = 0; p < 64; p += 5)
+        l.remove(p);
+    std::size_t linked = 0;
+    for (PageId p = 0; p < 64; ++p)
+        linked += l.where(p) != ListId::kNone;
+    std::size_t total = 0;
+    for (auto id : {ListId::kFastActive, ListId::kFastInactive,
+                    ListId::kSlowActive, ListId::kSlowInactive}) {
+        std::size_t walk = 0;
+        for (PageId p = l.head(id); p != kInvalidPage; p = l.next(p))
+            ++walk;
+        EXPECT_EQ(walk, l.size(id));
+        total += walk;
+    }
+    EXPECT_EQ(total, linked);
+}
+
+}  // namespace
+}  // namespace artmem::lru

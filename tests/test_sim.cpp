@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Integration tests of the simulation engine, experiment helpers, and
+ * cross-module behaviour (workload -> machine -> policy -> metrics).
+ */
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "sim/registry.hpp"
+#include "workloads/simple.hpp"
+
+namespace artmem::sim {
+namespace {
+
+constexpr Bytes kPage = 2ull << 20;
+
+TEST(Engine, RuntimeMatchesAccessLatencies)
+{
+    // All-fast footprint, no migrations: runtime == accesses * 92 ns.
+    memsim::MachineConfig cfg;
+    cfg.page_size = kPage;
+    cfg.address_space = 16 * kPage;
+    cfg.tiers[0].capacity = 32 * kPage;
+    cfg.tiers[1].capacity = 32 * kPage;
+    memsim::TieredMachine machine(cfg);
+    workloads::SequentialScan gen(16 * kPage, kPage, 100000);
+    auto policy = make_policy("static");
+    EngineConfig engine;
+    const auto r = run_simulation(gen, *policy, machine, engine);
+    EXPECT_EQ(r.accesses, 100000u);
+    EXPECT_EQ(r.runtime_ns, 100000u * 92u);
+    EXPECT_DOUBLE_EQ(r.fast_ratio, 1.0);
+}
+
+TEST(Engine, PrefaultAllocatesInAddressOrder)
+{
+    memsim::MachineConfig cfg;
+    cfg.page_size = kPage;
+    cfg.address_space = 8 * kPage;
+    cfg.tiers[0].capacity = 4 * kPage;
+    cfg.tiers[1].capacity = 8 * kPage;
+    memsim::TieredMachine machine(cfg);
+    // Workload touches only high pages; with prefault the low pages
+    // still claim the fast tier first.
+    workloads::UniformRandom gen(8 * kPage, kPage, 1000, 1);
+    auto policy = make_policy("static");
+    EngineConfig engine;
+    run_simulation(gen, *policy, machine, engine);
+    EXPECT_EQ(machine.tier_of(0), memsim::Tier::kFast);
+    EXPECT_EQ(machine.tier_of(3), memsim::Tier::kFast);
+    EXPECT_EQ(machine.tier_of(4), memsim::Tier::kSlow);
+}
+
+TEST(Engine, TimelineRecordsIntervals)
+{
+    RunSpec spec;
+    spec.workload = "s1";
+    spec.policy = "static";
+    spec.accesses = 500000;
+    spec.engine.record_timeline = true;
+    const auto r = run_experiment(spec);
+    ASSERT_GT(r.timeline.size(), 2u);
+    std::uint64_t total = 0;
+    SimTimeNs last = 0;
+    for (const auto& iv : r.timeline) {
+        EXPECT_GE(iv.end_time, last);
+        last = iv.end_time;
+        total += iv.accesses;
+    }
+    EXPECT_EQ(total, r.accesses);
+}
+
+TEST(Engine, PebsSamplesProportionalToAccesses)
+{
+    RunSpec spec;
+    spec.workload = "s3";
+    spec.policy = "static";
+    spec.accesses = 400000;
+    const auto r = run_experiment(spec);
+    EXPECT_EQ(r.pebs_recorded, 400000u / spec.engine.pebs.period);
+    EXPECT_EQ(r.pebs_dropped, 0u);
+}
+
+TEST(Experiment, PaperRatiosAreSix)
+{
+    const auto ratios = paper_ratios();
+    ASSERT_EQ(ratios.size(), 6u);
+    EXPECT_EQ(ratios.front().label(), "2:1");
+    EXPECT_EQ(ratios.back().label(), "1:16");
+    EXPECT_NEAR(ratios[1].fast_fraction(), 0.5, 1e-12);
+}
+
+TEST(Experiment, MachineConfigSizesFromRatio)
+{
+    const auto cfg = make_machine_config(32ull << 30, RatioSpec{1, 1});
+    EXPECT_EQ(cfg.tiers[0].capacity, 16ull << 30);
+    EXPECT_GE(cfg.tiers[1].capacity, 32ull << 30);
+    const auto cfg2 = make_machine_config(32ull << 30, RatioSpec{1, 16});
+    // ~1.88 GiB fast tier, page aligned.
+    EXPECT_NEAR(static_cast<double>(cfg2.tiers[0].capacity) / (1ull << 30),
+                32.0 / 17.0, 0.01);
+}
+
+TEST(Experiment, ExplicitFastBytesOverride)
+{
+    const auto cfg = make_machine_config(100ull << 30, Bytes{54ull << 30});
+    EXPECT_EQ(cfg.tiers[0].capacity, 54ull << 30);
+}
+
+TEST(Experiment, EndToEndArtMemBeatsStaticOnSkew)
+{
+    RunSpec spec;
+    spec.workload = "s1";
+    spec.accesses = 4000000;
+    spec.policy = "static";
+    const auto base = run_experiment(spec);
+    spec.policy = "artmem";
+    const auto art = run_experiment(spec);
+    EXPECT_LT(art.runtime_ns, base.runtime_ns);
+    EXPECT_GT(art.fast_ratio, base.fast_ratio + 0.3);
+}
+
+TEST(Experiment, DeterministicAcrossRepeats)
+{
+    RunSpec spec;
+    spec.workload = "ycsb";
+    spec.policy = "memtis";
+    spec.accesses = 500000;
+    const auto a = run_experiment(spec);
+    const auto b = run_experiment(spec);
+    EXPECT_EQ(a.runtime_ns, b.runtime_ns);
+    EXPECT_EQ(a.totals.migrated_pages(), b.totals.migrated_pages());
+}
+
+class EveryPolicyOnEveryPattern
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(EveryPolicyOnEveryPattern, RunsToCompletion)
+{
+    // Smoke matrix: no policy may hang, crash, or corrupt accounting on
+    // any synthetic pattern.
+    RunSpec spec;
+    spec.workload = std::get<0>(GetParam());
+    spec.policy = std::get<1>(GetParam());
+    spec.accesses = 300000;
+    const auto r = run_experiment(spec);
+    EXPECT_EQ(r.accesses, 300000u);
+    EXPECT_GE(r.fast_ratio, 0.0);
+    EXPECT_LE(r.fast_ratio, 1.0);
+    EXPECT_GT(r.runtime_ns, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EveryPolicyOnEveryPattern,
+    ::testing::Combine(
+        ::testing::Values("s1", "s2", "s3", "s4"),
+        ::testing::Values("static", "autonuma", "tpp", "autotiering",
+                          "nimble", "multiclock", "memtis", "tiering08",
+                          "artmem")),
+    [](const auto& info) {
+        return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace artmem::sim

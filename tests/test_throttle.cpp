@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the adaptive scan throttle shared by the hint-fault
+ * policies (the numa_scan_period adaptation analogue).
+ */
+#include <gtest/gtest.h>
+
+#include "policies/scan_throttle.hpp"
+
+namespace artmem::policies {
+namespace {
+
+TEST(ScanThrottle, StartsAtBaseFraction)
+{
+    ScanThrottle t(0.25, 100);
+    EXPECT_DOUBLE_EQ(t.fraction(), 0.25);
+}
+
+TEST(ScanThrottle, HalvesUnderFaultStorm)
+{
+    ScanThrottle t(0.25, 100);
+    for (int i = 0; i < 300; ++i)
+        t.on_fault();
+    EXPECT_DOUBLE_EQ(t.tick(), 0.125);
+}
+
+TEST(ScanThrottle, RecoversWhenQuiet)
+{
+    ScanThrottle t(0.25, 100);
+    for (int i = 0; i < 1000; ++i)
+        t.on_fault();
+    t.tick();  // halved
+    EXPECT_LT(t.fraction(), 0.25);
+    // Quiet windows: doubles back up to (but not beyond) the base.
+    for (int w = 0; w < 10; ++w)
+        t.tick();
+    EXPECT_DOUBLE_EQ(t.fraction(), 0.25);
+}
+
+TEST(ScanThrottle, NeverBelowFloor)
+{
+    ScanThrottle t(0.25, 10);
+    for (int w = 0; w < 100; ++w) {
+        for (int i = 0; i < 10000; ++i)
+            t.on_fault();
+        t.tick();
+    }
+    EXPECT_GE(t.fraction(), 0.25 / 4096.0);
+}
+
+TEST(ScanThrottle, StableInsideTargetBand)
+{
+    ScanThrottle t(0.25, 100);
+    for (int w = 0; w < 20; ++w) {
+        for (int i = 0; i < 100; ++i)  // exactly on target
+            t.on_fault();
+        EXPECT_DOUBLE_EQ(t.tick(), 0.25);
+    }
+}
+
+class ThrottleConvergence
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ThrottleConvergence, FaultRateSettlesNearTarget)
+{
+    // Property: with fault rate proportional to the scan fraction
+    // (faults = fraction * population), the controller settles where
+    // faults are inside [target/2, 2*target].
+    const std::uint64_t population = GetParam();
+    ScanThrottle t(1.0, 100);
+    std::uint64_t faults = 0;
+    for (int w = 0; w < 64; ++w) {
+        faults = static_cast<std::uint64_t>(t.fraction() *
+                                            static_cast<double>(population));
+        for (std::uint64_t i = 0; i < faults; ++i)
+            t.on_fault();
+        t.tick();
+    }
+    // Either the controller floors out (population too small to ever
+    // reach target, or so large even the floor exceeds the band) or the
+    // fault rate sits inside the band with one doubling of slack.
+    const auto floor_faults = static_cast<std::uint64_t>(
+        (1.0 / 4096.0) * static_cast<double>(population));
+    if (population >= 100)
+        EXPECT_LE(faults, std::max<std::uint64_t>(2 * 100u * 2,
+                                                  2 * floor_faults));
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, ThrottleConvergence,
+                         ::testing::Values(50, 1000, 100000, 10000000));
+
+}  // namespace
+}  // namespace artmem::policies

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * artmem — the command-line front end of the library.
+ *
+ *   artmem list                              inventory of workloads/policies
+ *   artmem run --workload=cc --policy=artmem --ratio=1:4 [--timeline]
+ *   artmem sweep --workload=ycsb             all policies x all ratios
+ *   artmem train --workload=cc --out=q.tbl   save converged Q-tables
+ *   artmem run ... --qtables=q.tbl           start from trained tables
+ *   artmem trace-record --workload=s1 --out=s1.trace
+ *   artmem trace-run --trace=s1.trace --policy=memtis
+ *
+ * Common flags: --accesses=N --seed=N --csv
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "sim/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "workloads/trace.hpp"
+
+namespace {
+
+using namespace artmem;
+
+constexpr Bytes kPage = 2ull << 20;
+
+sim::RatioSpec
+parse_ratio(const CliArgs& args)
+{
+    sim::RatioSpec ratio{1, 1};
+    const std::string text = args.get_string("ratio", "1:1");
+    const auto colon = text.find(':');
+    if (colon == std::string::npos)
+        fatal("--ratio expects fast:slow, got '", text, "'");
+    ratio.fast = std::stoi(text.substr(0, colon));
+    ratio.slow = std::stoi(text.substr(colon + 1));
+    if (ratio.fast <= 0 || ratio.slow <= 0)
+        fatal("--ratio parts must be positive");
+    return ratio;
+}
+
+sim::RunSpec
+parse_spec(const CliArgs& args)
+{
+    sim::RunSpec spec;
+    spec.workload = args.get_string("workload", "ycsb");
+    spec.policy = args.get_string("policy", "artmem");
+    spec.ratio = parse_ratio(args);
+    spec.accesses =
+        static_cast<std::uint64_t>(args.get_int("accesses", 6000000));
+    spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    return spec;
+}
+
+void
+print_result(const sim::RunResult& r, const sim::RunSpec& spec)
+{
+    std::cout << "workload=" << spec.workload << " policy=" << spec.policy
+              << " ratio=" << spec.ratio.label() << " seed=" << spec.seed
+              << "\nruntime=" << format_fixed(r.seconds() * 1e3, 2)
+              << "ms fast_ratio=" << format_fixed(r.fast_ratio, 3)
+              << " migrated_pages=" << r.totals.migrated_pages()
+              << " (promoted=" << r.totals.promoted_pages
+              << " demoted=" << r.totals.demoted_pages
+              << " exchanged=" << r.totals.exchanges
+              << ") hint_faults=" << r.totals.hint_faults
+              << " pebs=" << r.pebs_recorded << "\n";
+}
+
+int
+cmd_list()
+{
+    std::cout << "workloads:";
+    for (auto w : workloads::workload_names())
+        std::cout << " " << w;
+    std::cout << "\npolicies: ";
+    for (auto p : sim::policy_names())
+        std::cout << " " << p;
+    std::cout << "\nratios:   ";
+    for (const auto& r : sim::paper_ratios())
+        std::cout << " " << r.label();
+    std::cout << "\n";
+    return 0;
+}
+
+int
+cmd_run(const CliArgs& args)
+{
+    auto spec = parse_spec(args);
+    spec.engine.record_timeline = args.get_bool("timeline", false);
+
+    std::unique_ptr<policies::Policy> policy;
+    const std::string qtables = args.get_string("qtables", "");
+    if (!qtables.empty()) {
+        if (spec.policy != "artmem")
+            fatal("--qtables only applies to the artmem policy");
+        core::ArtMemConfig cfg;
+        cfg.seed = spec.seed;
+        auto artmem_policy = sim::make_artmem(cfg);
+        std::ifstream in(qtables);
+        if (!in)
+            fatal("cannot open ", qtables);
+        std::ostringstream blob;
+        blob << in.rdbuf();
+        artmem_policy->set_pretrained_qtables(blob.str());
+        policy = std::move(artmem_policy);
+    } else {
+        policy = sim::make_policy(spec.policy, spec.seed);
+    }
+
+    const auto r = sim::run_experiment(spec, *policy);
+    print_result(r, spec);
+    if (spec.engine.record_timeline) {
+        Table table({"t (ms)", "ratio", "promoted", "demoted"});
+        for (const auto& iv : r.timeline) {
+            table.row()
+                .cell(static_cast<double>(iv.end_time) * 1e-6, 1)
+                .cell(iv.fast_ratio, 3)
+                .cell(iv.promoted)
+                .cell(iv.demoted);
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}
+
+int
+cmd_sweep(const CliArgs& args)
+{
+    auto spec = parse_spec(args);
+    const auto ratios = sim::paper_ratios();
+    std::vector<std::string> headers = {"policy"};
+    for (const auto& r : ratios)
+        headers.push_back(r.label());
+    Table table(std::move(headers));
+    for (const auto policy : sim::policy_names()) {
+        auto& row = table.row().cell(std::string(policy));
+        for (const auto& ratio : ratios) {
+            spec.policy = std::string(policy);
+            spec.ratio = ratio;
+            const auto r = sim::run_experiment(spec);
+            row.cell(r.seconds() * 1e3, 1);
+        }
+    }
+    std::cout << "runtime (ms), workload=" << spec.workload << "\n";
+    if (args.get_bool("csv", false))
+        table.print_csv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}
+
+int
+cmd_train(const CliArgs& args)
+{
+    auto spec = parse_spec(args);
+    const std::string out_path = args.get_string("out", "qtables.txt");
+    core::ArtMemConfig cfg;
+    cfg.seed = spec.seed;
+    auto policy = sim::make_artmem(cfg);
+    const auto r = sim::run_experiment(spec, *policy);
+    std::ofstream out(out_path);
+    if (!out)
+        fatal("cannot write ", out_path);
+    policy->save_qtables(out);
+    print_result(r, spec);
+    std::cout << "Q-tables written to " << out_path << "\n";
+    return 0;
+}
+
+int
+cmd_trace_record(const CliArgs& args)
+{
+    auto spec = parse_spec(args);
+    const std::string out = args.get_string("out", spec.workload + ".trace");
+    auto inner = workloads::make_workload(spec.workload, kPage,
+                                          spec.accesses, spec.seed);
+    workloads::TraceWriter writer(std::move(inner), out, kPage);
+    std::vector<PageId> buf(8192);
+    while (writer.fill(buf) > 0) {
+    }
+    std::cout << "recorded " << writer.written() << " accesses of "
+              << spec.workload << " to " << out << "\n";
+    return 0;
+}
+
+int
+cmd_trace_run(const CliArgs& args)
+{
+    const std::string path = args.get_string("trace", "");
+    if (path.empty())
+        fatal("trace-run requires --trace=<file>");
+    auto spec = parse_spec(args);
+    workloads::TraceReplay replay(path);
+    auto machine_config = sim::make_machine_config(
+        replay.footprint(), spec.ratio, replay.page_size());
+    memsim::TieredMachine machine(machine_config);
+    auto policy = sim::make_policy(spec.policy, spec.seed);
+    sim::EngineConfig engine;
+    const auto r = sim::run_simulation(replay, *policy, machine, engine);
+    spec.workload = "trace:" + path;
+    print_result(r, spec);
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto args = CliArgs::parse(argc, argv);
+    if (args.positional().empty()) {
+        std::cerr
+            << "usage: artmem <list|run|sweep|train|trace-record|"
+               "trace-run> [flags]\n"
+               "flags: --workload= --policy= --ratio=F:S --accesses=N "
+               "--seed=N --timeline --qtables= --out= --trace= --csv\n";
+        return 1;
+    }
+    const std::string& command = args.positional()[0];
+    if (command == "list")
+        return cmd_list();
+    if (command == "run")
+        return cmd_run(args);
+    if (command == "sweep")
+        return cmd_sweep(args);
+    if (command == "train")
+        return cmd_train(args);
+    if (command == "trace-record")
+        return cmd_trace_record(args);
+    if (command == "trace-run")
+        return cmd_trace_run(args);
+    artmem::fatal("unknown command '", command, "'");
+}
