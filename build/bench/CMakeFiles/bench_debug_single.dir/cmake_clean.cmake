@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_debug_single.dir/bench_debug_single.cpp.o"
+  "CMakeFiles/bench_debug_single.dir/bench_debug_single.cpp.o.d"
+  "bench_debug_single"
+  "bench_debug_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_debug_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_latency_reward.dir/bench_fig12_latency_reward.cpp.o"
+  "CMakeFiles/bench_fig12_latency_reward.dir/bench_fig12_latency_reward.cpp.o.d"
+  "bench_fig12_latency_reward"
+  "bench_fig12_latency_reward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_latency_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16c_mixed.dir/bench_fig16c_mixed.cpp.o"
+  "CMakeFiles/bench_fig16c_mixed.dir/bench_fig16c_mixed.cpp.o.d"
+  "bench_fig16c_mixed"
+  "bench_fig16c_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16c_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_mlc.dir/bench_table2_mlc.cpp.o"
+  "CMakeFiles/bench_table2_mlc.dir/bench_table2_mlc.cpp.o.d"
+  "bench_table2_mlc"
+  "bench_table2_mlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_mlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

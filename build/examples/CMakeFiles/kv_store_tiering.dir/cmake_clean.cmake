@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_store_tiering.dir/kv_store_tiering.cpp.o"
+  "CMakeFiles/kv_store_tiering.dir/kv_store_tiering.cpp.o.d"
+  "kv_store_tiering"
+  "kv_store_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_store_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masim_runner.dir/masim_runner.cpp.o"
+  "CMakeFiles/masim_runner.dir/masim_runner.cpp.o.d"
+  "masim_runner"
+  "masim_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masim_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/artmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/artmem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/artmem_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/artmem_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/artmem_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/artmem_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/lru/CMakeFiles/artmem_lru.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/artmem_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/artmem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmem_core.dir/artmem.cpp.o"
+  "CMakeFiles/artmem_core.dir/artmem.cpp.o.d"
+  "libartmem_core.a"
+  "libartmem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

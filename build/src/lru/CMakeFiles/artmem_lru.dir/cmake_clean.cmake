@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmem_lru.dir/lru_lists.cpp.o"
+  "CMakeFiles/artmem_lru.dir/lru_lists.cpp.o.d"
+  "libartmem_lru.a"
+  "libartmem_lru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmem_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

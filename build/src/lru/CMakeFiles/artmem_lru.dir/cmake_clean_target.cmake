@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libartmem_lru.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/async_sampler.cpp" "src/memsim/CMakeFiles/artmem_memsim.dir/async_sampler.cpp.o" "gcc" "src/memsim/CMakeFiles/artmem_memsim.dir/async_sampler.cpp.o.d"
+  "/root/repo/src/memsim/mlc.cpp" "src/memsim/CMakeFiles/artmem_memsim.dir/mlc.cpp.o" "gcc" "src/memsim/CMakeFiles/artmem_memsim.dir/mlc.cpp.o.d"
+  "/root/repo/src/memsim/pebs.cpp" "src/memsim/CMakeFiles/artmem_memsim.dir/pebs.cpp.o" "gcc" "src/memsim/CMakeFiles/artmem_memsim.dir/pebs.cpp.o.d"
+  "/root/repo/src/memsim/tiered_machine.cpp" "src/memsim/CMakeFiles/artmem_memsim.dir/tiered_machine.cpp.o" "gcc" "src/memsim/CMakeFiles/artmem_memsim.dir/tiered_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/artmem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

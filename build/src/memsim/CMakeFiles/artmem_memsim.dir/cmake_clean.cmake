@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmem_memsim.dir/async_sampler.cpp.o"
+  "CMakeFiles/artmem_memsim.dir/async_sampler.cpp.o.d"
+  "CMakeFiles/artmem_memsim.dir/mlc.cpp.o"
+  "CMakeFiles/artmem_memsim.dir/mlc.cpp.o.d"
+  "CMakeFiles/artmem_memsim.dir/pebs.cpp.o"
+  "CMakeFiles/artmem_memsim.dir/pebs.cpp.o.d"
+  "CMakeFiles/artmem_memsim.dir/tiered_machine.cpp.o"
+  "CMakeFiles/artmem_memsim.dir/tiered_machine.cpp.o.d"
+  "libartmem_memsim.a"
+  "libartmem_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmem_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

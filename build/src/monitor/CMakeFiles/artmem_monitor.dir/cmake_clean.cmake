@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmem_monitor.dir/damon.cpp.o"
+  "CMakeFiles/artmem_monitor.dir/damon.cpp.o.d"
+  "libartmem_monitor.a"
+  "libartmem_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmem_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/autonuma.cpp" "src/policies/CMakeFiles/artmem_policies.dir/autonuma.cpp.o" "gcc" "src/policies/CMakeFiles/artmem_policies.dir/autonuma.cpp.o.d"
+  "/root/repo/src/policies/autotiering.cpp" "src/policies/CMakeFiles/artmem_policies.dir/autotiering.cpp.o" "gcc" "src/policies/CMakeFiles/artmem_policies.dir/autotiering.cpp.o.d"
+  "/root/repo/src/policies/memtis.cpp" "src/policies/CMakeFiles/artmem_policies.dir/memtis.cpp.o" "gcc" "src/policies/CMakeFiles/artmem_policies.dir/memtis.cpp.o.d"
+  "/root/repo/src/policies/multiclock.cpp" "src/policies/CMakeFiles/artmem_policies.dir/multiclock.cpp.o" "gcc" "src/policies/CMakeFiles/artmem_policies.dir/multiclock.cpp.o.d"
+  "/root/repo/src/policies/nimble.cpp" "src/policies/CMakeFiles/artmem_policies.dir/nimble.cpp.o" "gcc" "src/policies/CMakeFiles/artmem_policies.dir/nimble.cpp.o.d"
+  "/root/repo/src/policies/tiering08.cpp" "src/policies/CMakeFiles/artmem_policies.dir/tiering08.cpp.o" "gcc" "src/policies/CMakeFiles/artmem_policies.dir/tiering08.cpp.o.d"
+  "/root/repo/src/policies/tpp.cpp" "src/policies/CMakeFiles/artmem_policies.dir/tpp.cpp.o" "gcc" "src/policies/CMakeFiles/artmem_policies.dir/tpp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/artmem_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/artmem_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lru/CMakeFiles/artmem_lru.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/artmem_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmem_policies.dir/autonuma.cpp.o"
+  "CMakeFiles/artmem_policies.dir/autonuma.cpp.o.d"
+  "CMakeFiles/artmem_policies.dir/autotiering.cpp.o"
+  "CMakeFiles/artmem_policies.dir/autotiering.cpp.o.d"
+  "CMakeFiles/artmem_policies.dir/memtis.cpp.o"
+  "CMakeFiles/artmem_policies.dir/memtis.cpp.o.d"
+  "CMakeFiles/artmem_policies.dir/multiclock.cpp.o"
+  "CMakeFiles/artmem_policies.dir/multiclock.cpp.o.d"
+  "CMakeFiles/artmem_policies.dir/nimble.cpp.o"
+  "CMakeFiles/artmem_policies.dir/nimble.cpp.o.d"
+  "CMakeFiles/artmem_policies.dir/tiering08.cpp.o"
+  "CMakeFiles/artmem_policies.dir/tiering08.cpp.o.d"
+  "CMakeFiles/artmem_policies.dir/tpp.cpp.o"
+  "CMakeFiles/artmem_policies.dir/tpp.cpp.o.d"
+  "libartmem_policies.a"
+  "libartmem_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmem_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

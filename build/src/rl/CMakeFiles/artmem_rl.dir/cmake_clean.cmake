@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmem_rl.dir/agent.cpp.o"
+  "CMakeFiles/artmem_rl.dir/agent.cpp.o.d"
+  "CMakeFiles/artmem_rl.dir/qtable.cpp.o"
+  "CMakeFiles/artmem_rl.dir/qtable.cpp.o.d"
+  "libartmem_rl.a"
+  "libartmem_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmem_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmem_sim.dir/engine.cpp.o"
+  "CMakeFiles/artmem_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/artmem_sim.dir/experiment.cpp.o"
+  "CMakeFiles/artmem_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/artmem_sim.dir/registry.cpp.o"
+  "CMakeFiles/artmem_sim.dir/registry.cpp.o.d"
+  "libartmem_sim.a"
+  "libartmem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

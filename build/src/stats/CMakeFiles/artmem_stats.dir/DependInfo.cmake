@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/access_ratio.cpp" "src/stats/CMakeFiles/artmem_stats.dir/access_ratio.cpp.o" "gcc" "src/stats/CMakeFiles/artmem_stats.dir/access_ratio.cpp.o.d"
+  "/root/repo/src/stats/ema_bins.cpp" "src/stats/CMakeFiles/artmem_stats.dir/ema_bins.cpp.o" "gcc" "src/stats/CMakeFiles/artmem_stats.dir/ema_bins.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/artmem_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/artmem_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

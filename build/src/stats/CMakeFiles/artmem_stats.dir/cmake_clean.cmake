@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmem_stats.dir/access_ratio.cpp.o"
+  "CMakeFiles/artmem_stats.dir/access_ratio.cpp.o.d"
+  "CMakeFiles/artmem_stats.dir/ema_bins.cpp.o"
+  "CMakeFiles/artmem_stats.dir/ema_bins.cpp.o.d"
+  "libartmem_stats.a"
+  "libartmem_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmem_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

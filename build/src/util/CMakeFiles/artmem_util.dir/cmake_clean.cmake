@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmem_util.dir/cli.cpp.o"
+  "CMakeFiles/artmem_util.dir/cli.cpp.o.d"
+  "CMakeFiles/artmem_util.dir/config.cpp.o"
+  "CMakeFiles/artmem_util.dir/config.cpp.o.d"
+  "CMakeFiles/artmem_util.dir/logging.cpp.o"
+  "CMakeFiles/artmem_util.dir/logging.cpp.o.d"
+  "CMakeFiles/artmem_util.dir/rng.cpp.o"
+  "CMakeFiles/artmem_util.dir/rng.cpp.o.d"
+  "CMakeFiles/artmem_util.dir/stats.cpp.o"
+  "CMakeFiles/artmem_util.dir/stats.cpp.o.d"
+  "CMakeFiles/artmem_util.dir/table.cpp.o"
+  "CMakeFiles/artmem_util.dir/table.cpp.o.d"
+  "CMakeFiles/artmem_util.dir/zipf.cpp.o"
+  "CMakeFiles/artmem_util.dir/zipf.cpp.o.d"
+  "libartmem_util.a"
+  "libartmem_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmem_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps.cpp" "src/workloads/CMakeFiles/artmem_workloads.dir/apps.cpp.o" "gcc" "src/workloads/CMakeFiles/artmem_workloads.dir/apps.cpp.o.d"
+  "/root/repo/src/workloads/btree.cpp" "src/workloads/CMakeFiles/artmem_workloads.dir/btree.cpp.o" "gcc" "src/workloads/CMakeFiles/artmem_workloads.dir/btree.cpp.o.d"
+  "/root/repo/src/workloads/factory.cpp" "src/workloads/CMakeFiles/artmem_workloads.dir/factory.cpp.o" "gcc" "src/workloads/CMakeFiles/artmem_workloads.dir/factory.cpp.o.d"
+  "/root/repo/src/workloads/graph.cpp" "src/workloads/CMakeFiles/artmem_workloads.dir/graph.cpp.o" "gcc" "src/workloads/CMakeFiles/artmem_workloads.dir/graph.cpp.o.d"
+  "/root/repo/src/workloads/masim.cpp" "src/workloads/CMakeFiles/artmem_workloads.dir/masim.cpp.o" "gcc" "src/workloads/CMakeFiles/artmem_workloads.dir/masim.cpp.o.d"
+  "/root/repo/src/workloads/mixer.cpp" "src/workloads/CMakeFiles/artmem_workloads.dir/mixer.cpp.o" "gcc" "src/workloads/CMakeFiles/artmem_workloads.dir/mixer.cpp.o.d"
+  "/root/repo/src/workloads/patterns.cpp" "src/workloads/CMakeFiles/artmem_workloads.dir/patterns.cpp.o" "gcc" "src/workloads/CMakeFiles/artmem_workloads.dir/patterns.cpp.o.d"
+  "/root/repo/src/workloads/trace.cpp" "src/workloads/CMakeFiles/artmem_workloads.dir/trace.cpp.o" "gcc" "src/workloads/CMakeFiles/artmem_workloads.dir/trace.cpp.o.d"
+  "/root/repo/src/workloads/ycsb.cpp" "src/workloads/CMakeFiles/artmem_workloads.dir/ycsb.cpp.o" "gcc" "src/workloads/CMakeFiles/artmem_workloads.dir/ycsb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/artmem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmem_workloads.dir/apps.cpp.o"
+  "CMakeFiles/artmem_workloads.dir/apps.cpp.o.d"
+  "CMakeFiles/artmem_workloads.dir/btree.cpp.o"
+  "CMakeFiles/artmem_workloads.dir/btree.cpp.o.d"
+  "CMakeFiles/artmem_workloads.dir/factory.cpp.o"
+  "CMakeFiles/artmem_workloads.dir/factory.cpp.o.d"
+  "CMakeFiles/artmem_workloads.dir/graph.cpp.o"
+  "CMakeFiles/artmem_workloads.dir/graph.cpp.o.d"
+  "CMakeFiles/artmem_workloads.dir/masim.cpp.o"
+  "CMakeFiles/artmem_workloads.dir/masim.cpp.o.d"
+  "CMakeFiles/artmem_workloads.dir/mixer.cpp.o"
+  "CMakeFiles/artmem_workloads.dir/mixer.cpp.o.d"
+  "CMakeFiles/artmem_workloads.dir/patterns.cpp.o"
+  "CMakeFiles/artmem_workloads.dir/patterns.cpp.o.d"
+  "CMakeFiles/artmem_workloads.dir/trace.cpp.o"
+  "CMakeFiles/artmem_workloads.dir/trace.cpp.o.d"
+  "CMakeFiles/artmem_workloads.dir/ycsb.cpp.o"
+  "CMakeFiles/artmem_workloads.dir/ycsb.cpp.o.d"
+  "libartmem_workloads.a"
+  "libartmem_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmem_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

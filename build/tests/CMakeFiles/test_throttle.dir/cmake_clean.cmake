@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_throttle.dir/test_throttle.cpp.o"
+  "CMakeFiles/test_throttle.dir/test_throttle.cpp.o.d"
+  "test_throttle"
+  "test_throttle.pdb"
+  "test_throttle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artmem_cli.dir/artmem_cli.cpp.o"
+  "CMakeFiles/artmem_cli.dir/artmem_cli.cpp.o.d"
+  "artmem"
+  "artmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artmem_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
