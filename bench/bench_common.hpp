@@ -6,8 +6,11 @@
 #ifndef ARTMEM_BENCH_COMMON_HPP
 #define ARTMEM_BENCH_COMMON_HPP
 
+#include <algorithm>
+#include <initializer_list>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "sim/experiment.hpp"
 #include "util/cli.hpp"
@@ -22,10 +25,30 @@ struct BenchOptions {
     std::uint64_t seed = 42;
     bool csv = false;
 
+    /**
+     * Parse the shared flag set; @p extra_flags names any harness-
+     * specific flags. Anything else is a typo — fatal() naming the
+     * offending flag rather than silently running the default
+     * configuration.
+     */
     static BenchOptions
-    parse(int argc, char** argv, std::uint64_t default_accesses = 8000000)
+    parse(int argc, char** argv, std::uint64_t default_accesses = 8000000,
+          std::initializer_list<std::string_view> extra_flags = {})
     {
         const auto args = CliArgs::parse(argc, argv);
+        static constexpr std::string_view kShared[] = {"accesses", "seed",
+                                                       "quick", "csv"};
+        for (const auto& name : args.flag_names()) {
+            const bool known =
+                std::find(std::begin(kShared), std::end(kShared), name) !=
+                    std::end(kShared) ||
+                std::find(extra_flags.begin(), extra_flags.end(), name) !=
+                    extra_flags.end();
+            if (!known)
+                fatal("unknown flag --", name, " (known flags: --accesses ",
+                      "--seed --quick --csv and harness-specific ones; see ",
+                      "the file header of this bench)");
+        }
         BenchOptions opt;
         opt.accesses = static_cast<std::uint64_t>(
             args.get_int("accesses", static_cast<long long>(

@@ -12,7 +12,8 @@ main(int argc, char** argv)
     using namespace artmem;
     using namespace artmem::bench;
     const auto args = CliArgs::parse(argc, argv);
-    const auto opt = BenchOptions::parse(argc, argv);
+    const auto opt = BenchOptions::parse(argc, argv, 8000000,
+                                         {"workload", "policy", "timeline"});
 
     sim::RunSpec spec = make_spec(opt, args.get_string("workload", "s1"),
                                   args.get_string("policy", "artmem"),

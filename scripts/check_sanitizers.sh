@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Sanitizer CI: build and run the test suite under ASan+UBSan, then the
+# threaded tests (ring buffer / async sampler) under TSan. Any sanitizer
+# report fails the run (halt_on_error / abort_on_error below).
+#
+#   scripts/check_sanitizers.sh [build-dir-prefix]
+#
+# Build trees land in <prefix>-asan-ubsan/ and <prefix>-tsan/
+# (default prefix: build-san).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-san}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> ASan+UBSan build (${prefix}-asan-ubsan)"
+cmake -B "${prefix}-asan-ubsan" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DARTMEM_SANITIZE=address,undefined > /dev/null
+cmake --build "${prefix}-asan-ubsan" -j "${jobs}"
+
+echo "==> ASan+UBSan test run"
+ASAN_OPTIONS=detect_leaks=1:abort_on_error=0 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ctest --test-dir "${prefix}-asan-ubsan" --output-on-failure -j "${jobs}"
+
+echo "==> TSan build (${prefix}-tsan)"
+cmake -B "${prefix}-tsan" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DARTMEM_SANITIZE=thread > /dev/null
+cmake --build "${prefix}-tsan" -j "${jobs}" \
+    --target test_async test_memsim
+
+echo "==> TSan test run (threaded suites)"
+TSAN_OPTIONS=halt_on_error=1 "${prefix}-tsan/tests/test_async"
+TSAN_OPTIONS=halt_on_error=1 "${prefix}-tsan/tests/test_memsim" \
+    --gtest_filter='RingBuffer.*'
+
+echo "==> sanitizers clean"

@@ -1,6 +1,7 @@
 #include "core/artmem.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -84,6 +85,8 @@ ArtMem::init(memsim::TieredMachine& machine)
     window_latency_sum_ = 0;
     window_latency_samples_ = 0;
     last_migration_busy_ns_ = 0;
+    fail_streak_.assign(pages, 0);
+    retry_after_.assign(pages, 0);
 }
 
 void
@@ -160,21 +163,25 @@ ArtMem::collect_promotion_candidates(std::size_t want,
         for (PageId page : candidate_scratch_) {
             if (out.size() >= want)
                 break;
-            if (m.is_allocated(page) && m.tier_of(page) == Tier::kSlow)
+            if (m.is_allocated(page) && m.tier_of(page) == Tier::kSlow &&
+                !backed_off(page)) {
                 out.push_back(page);
+            }
         }
         return out.size();
     }
     // Recency-first: walk the slow tier's active list from the MRU head,
     // keeping only pages above the hotness threshold, then fall back to
-    // the inactive list (Section 4.3, step V).
+    // the inactive list (Section 4.3, step V). Pages inside their
+    // failure backoff window are skipped: retrying a pinned or
+    // recently-aborted page burns budget for nothing.
     for (lru::ListId list :
          {lru::ListId::kSlowActive, lru::ListId::kSlowInactive}) {
         for (PageId page = lists_->head(list);
              page != kInvalidPage && out.size() < want;
              page = lists_->next(page)) {
             if (bins_->count(page) >= threshold_ && m.is_allocated(page) &&
-                m.tier_of(page) == Tier::kSlow) {
+                m.tier_of(page) == Tier::kSlow && !backed_off(page)) {
                 out.push_back(page);
             }
         }
@@ -184,6 +191,33 @@ ArtMem::collect_promotion_candidates(std::size_t want,
     return out.size();
 }
 
+void
+ArtMem::note_migration_success(PageId page)
+{
+    if (fail_streak_[page] != 0) {
+        fail_streak_[page] = 0;
+        retry_after_[page] = 0;
+    }
+}
+
+void
+ArtMem::note_migration_failure(PageId page, memsim::MigrationResult result)
+{
+    if (result.pinned()) {
+        // Retries are futile; park the page for a long time. (Not
+        // forever: the injector is opaque to the policy, and a real
+        // kernel would eventually unpin.)
+        fail_streak_[page] = 255;
+        retry_after_[page] = periods_ + 256;
+        return;
+    }
+    // Transient: exponential backoff, capped at 64 periods.
+    const std::uint8_t streak =
+        static_cast<std::uint8_t>(std::min<int>(fail_streak_[page] + 1, 6));
+    fail_streak_[page] = streak;
+    retry_after_[page] = periods_ + (1ull << streak);
+}
+
 std::size_t
 ArtMem::demote_for_room(std::size_t need)
 {
@@ -191,10 +225,16 @@ ArtMem::demote_for_room(std::size_t need)
     std::size_t demoted = 0;
     auto demote_page = [&](PageId page) {
         lists_->remove(page);
-        if (m.migrate(page, Tier::kSlow)) {
+        const auto result = m.migrate(page, Tier::kSlow);
+        if (result.ok()) {
             // Demoted pages join the slow inactive head: cold but recent.
             lists_->insert_head(page, lru::ListId::kSlowInactive);
             ++demoted;
+        } else if (result.faulted()) {
+            // The page stays resident but leaves the lists (same as the
+            // no-slot path), so the loops below keep making progress;
+            // the backoff keeps the cold scan from hammering it.
+            note_migration_failure(page, result);
         }
     };
     // 1) Fast-tier inactive tail (cold and not recently referenced).
@@ -217,7 +257,7 @@ ArtMem::demote_for_room(std::size_t need)
         cold_scan_cursor_ = (cold_scan_cursor_ + 1) % pages;
         ++scanned;
         if (m.is_allocated(page) && m.tier_of(page) == Tier::kFast &&
-            lists_->where(page) == lru::ListId::kNone) {
+            lists_->where(page) == lru::ListId::kNone && !backed_off(page)) {
             demote_page(page);
         }
     }
@@ -248,19 +288,43 @@ ArtMem::perform_migration(Bytes budget)
     m.charge_overhead((candidates.size() + want) * 4);
     if (candidates.empty())
         return 0;
-    const std::size_t free = m.free_pages(Tier::kFast);
-    if (candidates.size() > free)
-        demote_for_room(candidates.size() - free);
     std::size_t promoted = 0;
-    for (PageId page : candidates) {
-        lists_->remove(page);
-        if (m.migrate(page, Tier::kFast)) {
-            // Aggressive re-insertion: always the fast active head.
-            lists_->insert_head(page, lru::ListId::kFastActive);
-            ++promoted;
-        } else {
-            lists_->insert_head(page, lru::ListId::kSlowActive);
+    std::size_t faulted = 0;
+    auto promote_round = [&](const std::vector<PageId>& round) {
+        const std::size_t free = m.free_pages(Tier::kFast);
+        if (round.size() > free)
+            demote_for_room(round.size() - free);
+        for (PageId page : round) {
+            lists_->remove(page);
+            const auto result = m.migrate(page, Tier::kFast);
+            if (result.ok()) {
+                // Aggressive re-insertion: always the fast active head.
+                lists_->insert_head(page, lru::ListId::kFastActive);
+                note_migration_success(page);
+                ++promoted;
+            } else if (result.faulted()) {
+                // Skip-and-requeue: the page stays a candidate for later
+                // periods (after its backoff), and the budget it did not
+                // consume can fund a replacement below.
+                lists_->insert_head(page, lru::ListId::kSlowActive);
+                note_migration_failure(page, result);
+                ++faulted;
+            } else {
+                lists_->insert_head(page, lru::ListId::kSlowActive);
+            }
         }
+    };
+    promote_round(candidates);
+    // Faulted promotions consumed no budget; refill the round once from
+    // the next-best candidates (the failed pages are now backed off, so
+    // the collection cannot hand them straight back).
+    if (faulted > 0 && promoted < want) {
+        std::vector<PageId> extra;
+        extra.reserve(want - promoted);
+        collect_promotion_candidates(want - promoted, extra);
+        m.charge_overhead(extra.size() * 4);
+        if (!extra.empty())
+            promote_round(extra);
     }
     return promoted;
 }
@@ -296,8 +360,23 @@ ArtMem::on_interval(SimTimeNs now)
                              ? latency_tau()
                              : tau_for_reward(tau);
     const double lambda = migrated_last_period_ > 0 ? 1.0 : 0.0;
-    const double reward =
-        tau_i - config_.beta + lambda * (tau_i - tau_prev_);
+    double reward = tau_i - config_.beta + lambda * (tau_i - tau_prev_);
+    // Keep the TD targets sane no matter what the observation pipeline
+    // produced (a sampling blackout yields the no-sample state; a broken
+    // latency proxy must not poison the Q-tables). The clamp bounds are
+    // far outside the reachable reward range, so it never alters a
+    // healthy run.
+    if (!std::isfinite(reward))
+        reward = -config_.beta;
+    reward = std::clamp(reward, -100.0, 100.0);
+
+    // A PEBS blackout (injected fault) leaves this period with no
+    // samples: the trackers saw nothing, so the dedicated no-sample
+    // state carries the decision. The migration agent still learns
+    // there — "what to do while blind" is a real policy question — but
+    // the threshold must not drift on zero evidence, so its agent is
+    // frozen for the period.
+    const bool blind = m.faults_enabled() && tau.no_samples(config_.k);
 
     Bytes budget = 0;
     if (config_.use_rl) {
@@ -305,7 +384,7 @@ ArtMem::on_interval(SimTimeNs now)
         const int mig_action = migration_agent_->step(reward, state);
         budget = config_.migration_sizes_mib[
                      static_cast<std::size_t>(mig_action)] << 20;
-        if (config_.use_dynamic_threshold) {
+        if (config_.use_dynamic_threshold && !blind) {
             const int thr_action = threshold_agent_->step(reward, state);
             apply_threshold_action(thr_action);
         }
@@ -329,11 +408,40 @@ ArtMem::save_qtables(std::ostream& os) const
     threshold_agent_->table().save(os);
 }
 
-void
+bool
 ArtMem::load_qtables(std::istream& is)
 {
-    migration_agent_->set_table(rl::QTable::load(is));
-    threshold_agent_->set_table(rl::QTable::load(is));
+    // All-or-nothing: parse and dimension-check both tables before
+    // touching either agent, so a blob that dies halfway through cannot
+    // leave one agent pretrained and the other cold.
+    std::string error;
+    auto check = [&](const rl::TdAgent& agent, const char* which)
+        -> std::optional<rl::QTable> {
+        auto table = rl::QTable::try_load(is, &error);
+        if (!table) {
+            warn("ArtMem: ignoring pretrained Q-tables (", which, " table: ",
+                 error, "); continuing from a cold start");
+            return std::nullopt;
+        }
+        if (table->states() != agent.table().states() ||
+            table->actions() != agent.table().actions()) {
+            warn("ArtMem: ignoring pretrained Q-tables (", which, " table is ",
+                 table->states(), "x", table->actions(), ", expected ",
+                 agent.table().states(), "x", agent.table().actions(),
+                 "); continuing from a cold start");
+            return std::nullopt;
+        }
+        return table;
+    };
+    auto migration = check(*migration_agent_, "migration");
+    if (!migration)
+        return false;
+    auto threshold = check(*threshold_agent_, "threshold");
+    if (!threshold)
+        return false;
+    migration_agent_->set_table(*std::move(migration));
+    threshold_agent_->set_table(*std::move(threshold));
+    return true;
 }
 
 }  // namespace artmem::core

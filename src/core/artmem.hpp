@@ -124,8 +124,13 @@ class ArtMem final : public policies::Policy
      */
     void save_qtables(std::ostream& os) const;
 
-    /** Import Q-tables previously produced by save_qtables(). */
-    void load_qtables(std::istream& is);
+    /**
+     * Import Q-tables previously produced by save_qtables(). A
+     * malformed, truncated, non-finite, or dimension-mismatched blob is
+     * recoverable: warn() and keep the current (cold-start) tables.
+     * @return true if both tables were installed.
+     */
+    bool load_qtables(std::istream& is);
 
     /**
      * Provide Q-tables (the save_qtables() text format) to be installed
@@ -147,6 +152,12 @@ class ArtMem final : public policies::Policy
     std::size_t collect_promotion_candidates(std::size_t want,
                                              std::vector<PageId>& out);
     std::size_t demote_for_room(std::size_t need);
+    bool backed_off(PageId page) const
+    {
+        return retry_after_[page] > periods_;
+    }
+    void note_migration_success(PageId page);
+    void note_migration_failure(PageId page, memsim::MigrationResult result);
 
     ArtMemConfig config_;
     std::unique_ptr<stats::EmaBins> bins_;
@@ -167,6 +178,12 @@ class ArtMem final : public policies::Policy
     SimTimeNs last_migration_busy_ns_ = 0;
     std::vector<PageId> candidate_scratch_;
     std::string pretrained_;
+    // Fault resilience: per-page failure streaks and the period after
+    // which a failed page may be retried (exponential backoff; pinned
+    // pages get a long sentence). All-zero in fault-free runs, so the
+    // backoff checks never change fault-free behaviour.
+    std::vector<std::uint8_t> fail_streak_;
+    std::vector<std::uint64_t> retry_after_;
 };
 
 }  // namespace artmem::core

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Deterministic fault injection for the tiered-memory substrate.
+ *
+ * The paper's evaluation assumes a well-behaved machine: every migration
+ * with a free destination slot succeeds, PEBS never blacks out, and tier
+ * latencies are constants. Real deployments violate all three — page
+ * migration fails transiently (pinned pages, aborted transactional
+ * copies; see Nomad, OSDI'24), Optane exhibits tail-latency spikes under
+ * bandwidth hogs (ARMS), and PEBS loses samples in bursts. FaultInjector
+ * models four fault classes on a seeded, fully deterministic schedule so
+ * that resilience experiments are reproducible bit-for-bit:
+ *
+ *  (a) typed migration failures — permanently pinned pages, transient
+ *      copy aborts, destination contention;
+ *  (b) bounded tier-degradation windows — latency multiplied and
+ *      bandwidth divided for one tier during periodic windows;
+ *  (c) PEBS sampling blackouts and drop bursts — windows where no
+ *      samples are recorded, plus an independent per-access drop rate;
+ *  (d) external fast-tier capacity pressure — a co-tenant reserving a
+ *      fraction of fast-tier page slots during periodic windows.
+ *
+ * Determinism: windows derive purely from simulated time plus a
+ * seed-derived phase offset, and per-event draws hash a monotonically
+ * increasing draw counter with the seed — the same seed and the same
+ * call sequence always produce the same fault schedule. A
+ * default-constructed FaultConfig disables every class; TieredMachine
+ * then never consults the injector, so the fault layer is a strict
+ * no-op when off.
+ */
+#ifndef ARTMEM_MEMSIM_FAULT_INJECTOR_HPP
+#define ARTMEM_MEMSIM_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "memsim/tier.hpp"
+#include "util/config.hpp"
+#include "util/types.hpp"
+
+namespace artmem::memsim {
+
+/** Static configuration of the four fault classes; defaults disable all. */
+struct FaultConfig {
+    /** Fault-schedule seed (independent of the workload seed). */
+    std::uint64_t seed = 1;
+
+    // --- (a) migration faults -------------------------------------------
+    /** Fraction of pages that are permanently pinned (unmigratable). */
+    double pinned_fraction = 0.0;
+    /** Probability that an attempted migration aborts mid-copy. */
+    double transient_rate = 0.0;
+    /** Probability that the destination is transiently contended. */
+    double contended_rate = 0.0;
+
+    // --- (b) tier degradation windows -----------------------------------
+    /** Tier whose device degrades during windows (0 fast, 1 slow). */
+    int degrade_tier = 1;
+    /** Load-latency multiplier while a degradation window is active. */
+    double degrade_latency_factor = 1.0;
+    /** Bandwidth divisor while a degradation window is active. */
+    double degrade_bandwidth_factor = 1.0;
+    /** Window period (simulated ns); 0 disables the class. */
+    SimTimeNs degrade_period_ns = 0;
+    /** Window length within each period. */
+    SimTimeNs degrade_duration_ns = 0;
+
+    // --- (c) PEBS blackouts and drop bursts ------------------------------
+    /** Blackout period (simulated ns); 0 disables the class. */
+    SimTimeNs blackout_period_ns = 0;
+    /** Blackout length within each period (no samples recorded). */
+    SimTimeNs blackout_duration_ns = 0;
+    /** Independent per-access sample drop probability (drop bursts). */
+    double sample_drop_rate = 0.0;
+
+    // --- (d) fast-tier capacity pressure ---------------------------------
+    /** Fraction of fast-tier slots a co-tenant grabs during windows. */
+    double pressure_fraction = 0.0;
+    /** Pressure period (simulated ns); 0 disables the class. */
+    SimTimeNs pressure_period_ns = 0;
+    /** Pressure window length within each period. */
+    SimTimeNs pressure_duration_ns = 0;
+
+    /** True if any fault class is active. */
+    bool any_enabled() const;
+
+    /** fatal() on out-of-range rates, factors, or windows. */
+    void validate() const;
+};
+
+/**
+ * Parse a FaultConfig from "fault.*" keys of a KvConfig. Unknown
+ * "fault."-prefixed keys (and any non-"fault." key, which would
+ * indicate the wrong file was passed) produce a fatal() naming the
+ * offending key. Durations are given in milliseconds of simulated time
+ * (e.g. "fault.blackout_period_ms = 50").
+ */
+FaultConfig parse_fault_config(const KvConfig& config);
+
+/** Names of the built-in fault scenarios (bench_fault_resilience). */
+std::vector<std::string_view> fault_scenario_names();
+
+/**
+ * Build one of the named scenarios: "none", "migration", "degrade",
+ * "blackout", or "pressure". fatal() on unknown names.
+ */
+FaultConfig make_fault_scenario(std::string_view name, std::uint64_t seed);
+
+/** The deterministic fault model; owned by TieredMachine. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param config              Validated fault configuration.
+     * @param fast_capacity_pages Fast-tier slot count (resolves
+     *                            pressure_fraction into pages).
+     */
+    FaultInjector(const FaultConfig& config,
+                  std::size_t fast_capacity_pages);
+
+    /** Configuration in force. */
+    const FaultConfig& config() const { return config_; }
+
+    // --- (a) migration faults -------------------------------------------
+
+    /** True if the page is permanently pinned (pure function of seed). */
+    bool page_pinned(PageId page) const;
+
+    /** Draw: does this migration abort mid-copy? Consumes one draw. */
+    bool migration_transient_abort();
+
+    /** Draw: is the destination contended? Consumes one draw. */
+    bool migration_contended();
+
+    // --- (b) tier degradation -------------------------------------------
+
+    /** True while @p tier is inside a degradation window. */
+    bool tier_degraded(Tier tier, SimTimeNs now) const;
+
+    /** Effective load latency for the tier at @p now. */
+    SimTimeNs effective_latency(Tier tier, SimTimeNs base,
+                                SimTimeNs now) const;
+
+    /** Bandwidth divisor for the tier at @p now (1.0 outside windows). */
+    double bandwidth_penalty(Tier tier, SimTimeNs now) const;
+
+    // --- (c) sampling faults --------------------------------------------
+
+    /** True while a PEBS blackout window is active. */
+    bool sampling_blackout(SimTimeNs now) const;
+
+    /**
+     * True if this access's sample must be suppressed: inside a
+     * blackout window, or lost to the drop-burst rate (one draw).
+     */
+    bool sample_suppressed(SimTimeNs now);
+
+    // --- (d) capacity pressure ------------------------------------------
+
+    /** Fast-tier slots held by the co-tenant at @p now. */
+    std::size_t reserved_fast_pages(SimTimeNs now) const;
+
+    /** Draws consumed so far (tests: schedule progress). */
+    std::uint64_t draws() const { return draw_counter_; }
+
+  private:
+    double draw();
+    bool in_window(SimTimeNs now, SimTimeNs period, SimTimeNs duration,
+                   SimTimeNs offset) const;
+
+    FaultConfig config_;
+    std::size_t pressure_pages_ = 0;
+    SimTimeNs degrade_offset_ = 0;
+    SimTimeNs blackout_offset_ = 0;
+    SimTimeNs pressure_offset_ = 0;
+    std::uint64_t draw_counter_ = 0;
+};
+
+}  // namespace artmem::memsim
+
+#endif  // ARTMEM_MEMSIM_FAULT_INJECTOR_HPP

@@ -10,6 +10,28 @@ tier_name(Tier t)
     return t == Tier::kFast ? "fast" : "slow";
 }
 
+std::string_view
+migrate_status_name(MigrateStatus status)
+{
+    switch (status) {
+    case MigrateStatus::kOk:
+        return "ok";
+    case MigrateStatus::kNotAllocated:
+        return "not_allocated";
+    case MigrateStatus::kSameTier:
+        return "same_tier";
+    case MigrateStatus::kNoFreeSlot:
+        return "no_free_slot";
+    case MigrateStatus::kPagePinned:
+        return "page_pinned";
+    case MigrateStatus::kCopyAborted:
+        return "copy_aborted";
+    case MigrateStatus::kDstContended:
+        return "dst_contended";
+    }
+    return "unknown";
+}
+
 TieredMachine::TieredMachine(const MachineConfig& config) : config_(config)
 {
     if (config_.page_size == 0)
@@ -42,10 +64,14 @@ void
 TieredMachine::allocate(PageId page)
 {
     // First-touch, fast tier first (the paper: "ArtMem first places pages
-    // in fast memory before overflowing to the slower tier").
-    const Tier tier =
-        used_[0] < capacity_[0] ? Tier::kFast : Tier::kSlow;
+    // in fast memory before overflowing to the slower tier"). Co-tenant
+    // pressure steers first-touch to the slow tier, but if the slow tier
+    // is also full the reservation yields: the co-tenant's hold is soft
+    // and must never make allocation fail.
+    Tier tier = free_pages(Tier::kFast) > 0 ? Tier::kFast : Tier::kSlow;
     if (tier == Tier::kSlow && used_[1] >= capacity_[1])
+        tier = Tier::kFast;
+    if (used_[static_cast<int>(tier)] >= capacity_[static_cast<int>(tier)])
         panic("TieredMachine: both tiers full on allocation");
     ++used_[static_cast<int>(tier)];
     flags_[page] = static_cast<std::uint8_t>(
@@ -72,7 +98,10 @@ TieredMachine::access(PageId page)
         (flags & kTierBit) ? Tier::kSlow : Tier::kFast;
     flags |= kAccessedBit;
     const int t = static_cast<int>(tier);
-    now_ += latency_[t];
+    if (faults_ != nullptr) [[unlikely]]
+        now_ += faults_->effective_latency(tier, latency_[t], now_);
+    else
+        now_ += latency_[t];
     ++totals_.accesses[t];
     ++window_.accesses[t];
     if (flags & kTrapBit) [[unlikely]] {
@@ -98,12 +127,17 @@ SimTimeNs
 TieredMachine::migration_cost(Tier src, Tier dst) const
 {
     // Copy cost: read from src at src bandwidth plus write to dst at dst
-    // bandwidth, plus fixed PTE/TLB overhead. GB/s == bytes/ns.
+    // bandwidth, plus fixed PTE/TLB overhead. GB/s == bytes/ns. A
+    // degradation window divides the affected leg's bandwidth.
     const double bytes = static_cast<double>(config_.page_size);
-    const double read_ns =
+    double read_ns =
         bytes / config_.tiers[static_cast<int>(src)].bandwidth_gbps;
-    const double write_ns =
+    double write_ns =
         bytes / config_.tiers[static_cast<int>(dst)].bandwidth_gbps;
+    if (faults_ != nullptr) [[unlikely]] {
+        read_ns *= faults_->bandwidth_penalty(src, now_);
+        write_ns *= faults_->bandwidth_penalty(dst, now_);
+    }
     return static_cast<SimTimeNs>(read_ns + write_ns) +
            config_.migration_fixed_ns;
 }
@@ -125,17 +159,77 @@ TieredMachine::account_migration(Tier src, Tier dst)
     }
 }
 
-bool
+void
+TieredMachine::record_failure(MigrateStatus status)
+{
+    switch (status) {
+    case MigrateStatus::kNoFreeSlot:
+        ++totals_.failed_no_slot;
+        ++window_.failed_no_slot;
+        break;
+    case MigrateStatus::kPagePinned:
+        ++totals_.failed_pinned;
+        ++window_.failed_pinned;
+        break;
+    case MigrateStatus::kCopyAborted:
+        ++totals_.failed_transient;
+        ++window_.failed_transient;
+        break;
+    case MigrateStatus::kDstContended:
+        ++totals_.failed_contended;
+        ++window_.failed_contended;
+        break;
+    default:
+        break;
+    }
+}
+
+void
+TieredMachine::charge_aborted_copy(Tier src, Tier dst)
+{
+    // A mid-copy abort wasted roughly half the device copy time; the
+    // page stays put but the bandwidth (and its contention share of
+    // application time) is gone.
+    const SimTimeNs busy = migration_cost(src, dst) / 2;
+    totals_.aborted_migration_ns += busy;
+    window_.aborted_migration_ns += busy;
+    now_ += static_cast<SimTimeNs>(
+        static_cast<double>(busy) * config_.migration_contention);
+}
+
+MigrationResult
 TieredMachine::migrate(PageId page, Tier dst)
 {
     if (!is_allocated(page))
-        return false;
+        return {MigrateStatus::kNotAllocated};
     const Tier src = tier_of(page);
     if (src == dst)
-        return false;
+        return {MigrateStatus::kSameTier};
+    if (faults_ != nullptr && faults_->page_pinned(page)) [[unlikely]] {
+        record_failure(MigrateStatus::kPagePinned);
+        return {MigrateStatus::kPagePinned};
+    }
     const int d = static_cast<int>(dst);
-    if (used_[d] >= capacity_[d])
-        return false;
+    if (used_[d] >= capacity_[d]) {
+        record_failure(MigrateStatus::kNoFreeSlot);
+        return {MigrateStatus::kNoFreeSlot};
+    }
+    if (faults_ != nullptr) [[unlikely]] {
+        // Co-tenant pressure: the free slot exists but is reserved.
+        if (reserved_pages(dst) > 0 && free_pages(dst) == 0) {
+            record_failure(MigrateStatus::kDstContended);
+            return {MigrateStatus::kDstContended};
+        }
+        if (faults_->migration_transient_abort()) {
+            charge_aborted_copy(src, dst);
+            record_failure(MigrateStatus::kCopyAborted);
+            return {MigrateStatus::kCopyAborted};
+        }
+        if (faults_->migration_contended()) {
+            record_failure(MigrateStatus::kDstContended);
+            return {MigrateStatus::kDstContended};
+        }
+    }
     --used_[static_cast<int>(src)];
     ++used_[d];
     if (dst == Tier::kSlow)
@@ -143,18 +237,33 @@ TieredMachine::migrate(PageId page, Tier dst)
     else
         flags_[page] &= static_cast<std::uint8_t>(~kTierBit);
     account_migration(src, dst);
-    return true;
+    return {MigrateStatus::kOk};
 }
 
-bool
+MigrationResult
 TieredMachine::exchange(PageId a, PageId b)
 {
     if (!is_allocated(a) || !is_allocated(b) || a == b)
-        return false;
+        return {MigrateStatus::kNotAllocated};
     const Tier ta = tier_of(a);
     const Tier tb = tier_of(b);
     if (ta == tb)
-        return false;
+        return {MigrateStatus::kSameTier};
+    if (faults_ != nullptr) [[unlikely]] {
+        if (faults_->page_pinned(a) || faults_->page_pinned(b)) {
+            record_failure(MigrateStatus::kPagePinned);
+            return {MigrateStatus::kPagePinned};
+        }
+        if (faults_->migration_transient_abort()) {
+            charge_aborted_copy(ta, tb);
+            record_failure(MigrateStatus::kCopyAborted);
+            return {MigrateStatus::kCopyAborted};
+        }
+        if (faults_->migration_contended()) {
+            record_failure(MigrateStatus::kDstContended);
+            return {MigrateStatus::kDstContended};
+        }
+    }
     flags_[a] ^= kTierBit;
     flags_[b] ^= kTierBit;
     // An exchange is two copies through a bounce buffer; charge both.
@@ -165,7 +274,18 @@ TieredMachine::exchange(PageId a, PageId b)
         static_cast<double>(busy) * config_.migration_contention);
     ++totals_.exchanges;
     ++window_.exchanges;
-    return true;
+    return {MigrateStatus::kOk};
+}
+
+void
+TieredMachine::install_faults(const FaultConfig& config)
+{
+    config.validate();
+    if (!config.any_enabled()) {
+        faults_.reset();
+        return;
+    }
+    faults_ = std::make_unique<FaultInjector>(config, capacity_[0]);
 }
 
 SimTimeNs

@@ -23,12 +23,67 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "memsim/fault_injector.hpp"
 #include "memsim/tier.hpp"
 #include "util/types.hpp"
 
 namespace artmem::memsim {
+
+/**
+ * Why a migration did not complete. kNotAllocated/kSameTier are caller
+ * errors (the request was meaningless), kNoFreeSlot is a capacity
+ * condition, and the last three are injected faults: a permanently
+ * pinned page, a transient mid-copy abort, and transient destination
+ * contention (including co-tenant capacity pressure).
+ */
+enum class MigrateStatus : std::uint8_t {
+    kOk = 0,
+    kNotAllocated,
+    kSameTier,
+    kNoFreeSlot,
+    kPagePinned,
+    kCopyAborted,
+    kDstContended,
+};
+
+/** Printable status name. */
+std::string_view migrate_status_name(MigrateStatus status);
+
+/** Typed outcome of TieredMachine::migrate() / exchange(). */
+struct MigrationResult {
+    MigrateStatus status = MigrateStatus::kOk;
+
+    /** The page(s) moved. */
+    bool ok() const { return status == MigrateStatus::kOk; }
+
+    /**
+     * The failure is transient: retrying later (backoff) can succeed.
+     * kNoFreeSlot counts as transient — capacity can be reclaimed.
+     */
+    bool transient() const
+    {
+        return status == MigrateStatus::kNoFreeSlot ||
+               status == MigrateStatus::kCopyAborted ||
+               status == MigrateStatus::kDstContended;
+    }
+
+    /** The page is permanently pinned; retries are futile. */
+    bool pinned() const { return status == MigrateStatus::kPagePinned; }
+
+    /** An injected fault (not a caller error or plain capacity miss). */
+    bool faulted() const
+    {
+        return status == MigrateStatus::kPagePinned ||
+               status == MigrateStatus::kCopyAborted ||
+               status == MigrateStatus::kDstContended;
+    }
+
+    /** Contextual conversion preserves the old `if (migrate(...))` idiom. */
+    explicit operator bool() const { return ok(); }
+};
 
 /** Static configuration of a TieredMachine. */
 struct MachineConfig {
@@ -137,10 +192,15 @@ class TieredMachine
         return used_[static_cast<int>(t)];
     }
 
-    /** Free page slots in the tier. */
+    /**
+     * Free page slots in the tier, net of any slots the injected
+     * co-tenant is holding (capacity-pressure fault class).
+     */
     std::size_t free_pages(Tier t) const
     {
-        return capacity_pages(t) - used_pages(t);
+        const std::size_t taken = used_pages(t) + reserved_pages(t);
+        const std::size_t cap = capacity_pages(t);
+        return cap > taken ? cap - taken : 0;
     }
 
     /** True once the page has been touched. */
@@ -153,18 +213,46 @@ class TieredMachine
     Tier tier_of(PageId page) const;
 
     /**
-     * Move an allocated page to @p dst, charging migration cost.
-     * @return false (no-op) if the page is unallocated, already in @p dst,
-     *         or @p dst has no free slot.
+     * Move an allocated page to @p dst, charging migration cost on
+     * success (and a partial abort cost on injected mid-copy aborts).
+     * @return typed result; not-ok (no state change) if the page is
+     *         unallocated, already in @p dst, @p dst has no free slot,
+     *         or an injected fault fired.
      */
-    bool migrate(PageId page, Tier dst);
+    MigrationResult migrate(PageId page, Tier dst);
 
     /**
      * Swap the tiers of two pages resident in different tiers (the
      * exchange migration AutoTiering uses when the fast tier is full).
-     * @return false if the precondition does not hold.
+     * @return typed result; not-ok if the precondition does not hold or
+     *         an injected fault fired.
      */
-    bool exchange(PageId a, PageId b);
+    MigrationResult exchange(PageId a, PageId b);
+
+    /**
+     * Install the fault model for this run (engine: EngineConfig::faults).
+     * A config with no enabled class leaves the machine fault-free, with
+     * zero overhead and bit-identical behaviour to a build without the
+     * fault layer.
+     */
+    void install_faults(const FaultConfig& config);
+
+    /** True once an enabled fault model is installed. */
+    bool faults_enabled() const { return faults_ != nullptr; }
+
+    /** The installed fault model, or nullptr when fault-free. */
+    FaultInjector* fault_injector() { return faults_.get(); }
+
+    /** Read-only fault model access. */
+    const FaultInjector* fault_injector() const { return faults_.get(); }
+
+    /** Fast-tier slots currently held by the injected co-tenant. */
+    std::size_t reserved_pages(Tier t) const
+    {
+        return (t == Tier::kFast && faults_ != nullptr)
+                   ? faults_->reserved_fast_pages(now_)
+                   : 0;
+    }
 
     /**
      * Bulk sequential transfer of @p length bytes from the tier, charged
@@ -209,6 +297,16 @@ class TieredMachine
         SimTimeNs migration_busy_ns = 0;
         /** Policy bookkeeping time charged via charge_overhead(). */
         SimTimeNs overhead_ns = 0;
+        /** Migrations refused: destination had no free slot. */
+        std::uint64_t failed_no_slot = 0;
+        /** Migrations refused: page permanently pinned (injected). */
+        std::uint64_t failed_pinned = 0;
+        /** Migrations aborted mid-copy (injected transient). */
+        std::uint64_t failed_transient = 0;
+        /** Migrations refused: destination contended (injected). */
+        std::uint64_t failed_contended = 0;
+        /** Device time wasted on aborted copies (injected faults only). */
+        SimTimeNs aborted_migration_ns = 0;
 
         /** Total accesses across tiers. */
         std::uint64_t total_accesses() const
@@ -228,6 +326,12 @@ class TieredMachine
         {
             return promoted_pages + demoted_pages + 2 * exchanges;
         }
+        /** Migration attempts that did not move a page. */
+        std::uint64_t migration_failures() const
+        {
+            return failed_no_slot + failed_pinned + failed_transient +
+                   failed_contended;
+        }
     };
 
     /** Counters since construction. */
@@ -245,6 +349,8 @@ class TieredMachine
     void allocate(PageId page);
     SimTimeNs migration_cost(Tier src, Tier dst) const;
     void account_migration(Tier src, Tier dst);
+    void record_failure(MigrateStatus status);
+    void charge_aborted_copy(Tier src, Tier dst);
 
     MachineConfig config_;
     std::vector<std::uint8_t> flags_;
@@ -255,6 +361,8 @@ class TieredMachine
     Counters totals_;
     Counters window_;
     FaultHandler fault_handler_;
+    /** Null when fault-free (the default): zero-overhead fast path. */
+    std::unique_ptr<FaultInjector> faults_;
 };
 
 }  // namespace artmem::memsim

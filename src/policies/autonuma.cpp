@@ -115,10 +115,13 @@ AutoNuma::on_interval(SimTimeNs now)
         }
         if (m.free_pages(memsim::Tier::kFast) == 0)
             demote_to_watermark();
-        if (m.migrate(page, memsim::Tier::kFast))
+        const auto result = m.migrate(page, memsim::Tier::kFast);
+        if (result.ok())
             ++promoted;
-        else
+        else if (!result.faulted())
             break;  // fast tier saturated and nothing demotable
+        // Injected faults (pinned page, aborted copy) only skip this
+        // page; the rest of the queue may still promote fine.
     }
     promote_queue_.clear();
 }

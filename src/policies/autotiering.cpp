@@ -27,8 +27,13 @@ AutoTiering::on_hint_fault(PageId page, memsim::Tier tier)
         return;
     auto& m = machine();
     if (m.free_pages(memsim::Tier::kFast) > 0) {
-        // OPM: opportunistic promotion on the first fault.
-        m.migrate(page, memsim::Tier::kFast);
+        // OPM: opportunistic promotion on the first fault. A transient
+        // injected failure (aborted copy, contended destination) defers
+        // the page to the exchange pass instead of dropping it; a pinned
+        // page is dropped — retrying is futile.
+        const auto result = m.migrate(page, memsim::Tier::kFast);
+        if (result.transient())
+            exchange_queue_.push_back(page);
     } else {
         // Fast tier full: defer to the interval's exchange pass.
         exchange_queue_.push_back(page);

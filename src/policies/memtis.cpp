@@ -65,15 +65,23 @@ Memtis::on_interval(SimTimeNs now)
 
     std::size_t moved = 0;
     std::size_t victim = 0;
+    bool out_of_victims = false;
     for (PageId page : promote_) {
         if (moved >= config_.migrate_limit)
             break;
-        if (m.free_pages(memsim::Tier::kFast) == 0) {
-            if (victim >= demote_.size())
-                break;  // nothing cold to evict
-            m.migrate(demote_[victim++], memsim::Tier::kSlow);
-            ++moved;
+        while (m.free_pages(memsim::Tier::kFast) == 0) {
+            if (victim >= demote_.size()) {
+                out_of_victims = true;
+                break;
+            }
+            // Only a successful demotion counts against the rate limit;
+            // a failed one (pinned or aborted under fault injection)
+            // moved nothing, so the next victim is tried instead.
+            if (m.migrate(demote_[victim++], memsim::Tier::kSlow))
+                ++moved;
         }
+        if (out_of_victims)
+            break;  // nothing cold to evict
         if (m.migrate(page, memsim::Tier::kFast))
             ++moved;
     }

@@ -116,10 +116,11 @@ Tiering08::on_interval(SimTimeNs now)
         }
         if (m.free_pages(memsim::Tier::kFast) == 0)
             demote_to_watermark();
-        if (m.migrate(page, memsim::Tier::kFast))
+        const auto result = m.migrate(page, memsim::Tier::kFast);
+        if (result.ok())
             ++promoted;
-        else
-            break;
+        else if (!result.faulted())
+            break;  // saturated: an injected fault would only skip one page
     }
     for (PageId page : promote_queue_)
         queued_[page] = 0;

@@ -1,7 +1,9 @@
 #include "rl/qtable.hpp"
 
+#include <cmath>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <string>
 
 #include "util/logging.hpp"
@@ -81,15 +83,52 @@ QTable::save(std::ostream& os) const
 QTable
 QTable::load(std::istream& is)
 {
+    std::string error;
+    auto table = try_load(is, &error);
+    if (!table)
+        fatal("QTable::load: ", error);
+    return *std::move(table);
+}
+
+std::optional<QTable>
+QTable::try_load(std::istream& is, std::string* error)
+{
+    const auto fail = [&](const std::string& why) -> std::optional<QTable> {
+        if (error != nullptr)
+            *error = why;
+        return std::nullopt;
+    };
     std::string magic;
     int states = 0, actions = 0;
     if (!(is >> magic >> states >> actions) || magic != "qtable")
-        fatal("QTable::load: malformed header");
+        return fail("malformed header (expected 'qtable <S> <A>')");
+    // A table bigger than this is not a save of ours; refuse before
+    // the allocation rather than after.
+    constexpr long long kMaxEntries = 1 << 20;
+    if (states <= 0 || actions <= 0 ||
+        static_cast<long long>(states) * actions > kMaxEntries) {
+        std::ostringstream why;
+        why << "implausible dimensions " << states << "x" << actions;
+        return fail(why.str());
+    }
     QTable table(states, actions);
-    for (int s = 0; s < states; ++s)
-        for (int a = 0; a < actions; ++a)
-            if (!(is >> table.at(s, a)))
-                fatal("QTable::load: truncated table body");
+    for (int s = 0; s < states; ++s) {
+        for (int a = 0; a < actions; ++a) {
+            double value = 0.0;
+            if (!(is >> value)) {
+                std::ostringstream why;
+                why << "truncated or non-numeric body at entry (" << s
+                    << "," << a << ")";
+                return fail(why.str());
+            }
+            if (!std::isfinite(value)) {
+                std::ostringstream why;
+                why << "non-finite entry at (" << s << "," << a << ")";
+                return fail(why.str());
+            }
+            table.at(s, a) = value;
+        }
+    }
     return table;
 }
 

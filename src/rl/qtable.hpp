@@ -8,6 +8,8 @@
 #define ARTMEM_RL_QTABLE_HPP
 
 #include <iosfwd>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -53,6 +55,16 @@ class QTable
 
     /** Parse the save() format; fatal on malformed input. */
     static QTable load(std::istream& is);
+
+    /**
+     * Parse the save() format without dying: returns nullopt (and sets
+     * @p error if non-null) on a malformed header, implausible or
+     * non-positive dimensions, a truncated body, or non-finite entries.
+     * The recoverable path for caller-supplied blobs (ArtMem pretrained
+     * Q-tables fall back to a cold start).
+     */
+    static std::optional<QTable> try_load(std::istream& is,
+                                          std::string* error = nullptr);
 
   private:
     int index(int state, int action) const;

@@ -20,8 +20,11 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
             0, static_cast<std::size_t>(
                    (needed + machine.page_size() - 1) / machine.page_size()));
     }
+    machine.install_faults(config.faults);
+    memsim::FaultInjector* faults = machine.fault_injector();
     policy.init(machine);
     memsim::PebsSampler sampler(config.pebs);
+    std::uint64_t pebs_suppressed = 0;
 
     std::vector<PageId> batch(config.batch_size);
     std::vector<memsim::PebsSample> drained;
@@ -52,6 +55,10 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
             interval.promoted = window.promoted_pages;
             interval.demoted = window.demoted_pages;
             interval.exchanges = window.exchanges;
+            interval.failed_migrations = window.migration_failures();
+            interval.sampling_blackout =
+                faults != nullptr &&
+                faults->sampling_blackout(machine.now());
             result.timeline.push_back(interval);
         }
         interval_start_accesses = result.accesses;
@@ -61,9 +68,19 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
         const std::size_t n = gen.fill(batch);
         if (n == 0)
             break;
-        for (std::size_t i = 0; i < n; ++i) {
-            const memsim::Tier tier = machine.access(batch[i]);
-            sampler.observe(batch[i], tier);
+        if (faults == nullptr) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const memsim::Tier tier = machine.access(batch[i]);
+                sampler.observe(batch[i], tier);
+            }
+        } else {
+            for (std::size_t i = 0; i < n; ++i) {
+                const memsim::Tier tier = machine.access(batch[i]);
+                if (faults->sample_suppressed(machine.now())) [[unlikely]]
+                    ++pebs_suppressed;
+                else
+                    sampler.observe(batch[i], tier);
+            }
         }
         result.accesses += n;
         // Periodic threads sleep relative to when they finish their
@@ -90,6 +107,7 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
     result.fast_ratio = result.totals.fast_ratio();
     result.pebs_recorded = sampler.recorded();
     result.pebs_dropped = sampler.dropped();
+    result.pebs_suppressed = pebs_suppressed;
     return result;
 }
 

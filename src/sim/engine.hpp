@@ -45,6 +45,12 @@ struct EngineConfig {
      * pages happen to be touched first.
      */
     bool prefault = true;
+    /**
+     * Fault model for the run (memsim/fault_injector.hpp). The default
+     * disables every fault class, leaving the run bit-identical to one
+     * without the fault layer.
+     */
+    memsim::FaultConfig faults;
 };
 
 /** One decision interval's ground-truth observation. */
@@ -55,6 +61,8 @@ struct IntervalRecord {
     std::uint64_t promoted = 0;       ///< Pages promoted this interval.
     std::uint64_t demoted = 0;        ///< Pages demoted this interval.
     std::uint64_t exchanges = 0;      ///< Exchange migrations.
+    std::uint64_t failed_migrations = 0;  ///< Injected-fault failures.
+    bool sampling_blackout = false;   ///< PEBS blackout at interval end.
 };
 
 /** Aggregate outcome of one run. */
@@ -65,6 +73,7 @@ struct RunResult {
     memsim::TieredMachine::Counters totals;  ///< Machine counters.
     std::uint64_t pebs_recorded = 0;
     std::uint64_t pebs_dropped = 0;
+    std::uint64_t pebs_suppressed = 0;    ///< Samples lost to injected faults.
     std::vector<IntervalRecord> timeline; ///< If record_timeline.
 
     /** Runtime in seconds. */

@@ -35,6 +35,16 @@ CliArgs::has(const std::string& name) const
     return flags_.count(name) != 0;
 }
 
+std::vector<std::string>
+CliArgs::flag_names() const
+{
+    std::vector<std::string> out;
+    out.reserve(flags_.size());
+    for (const auto& [name, value] : flags_)
+        out.push_back(name);
+    return out;
+}
+
 std::string
 CliArgs::get_string(const std::string& name, const std::string& fallback) const
 {

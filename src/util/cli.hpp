@@ -38,6 +38,9 @@ class CliArgs
     /** Positional (non-flag) arguments in order. */
     const std::vector<std::string>& positional() const { return positional_; }
 
+    /** All flag names given, sorted (allowlist validation). */
+    std::vector<std::string> flag_names() const;
+
     /** Program name (argv[0]). */
     const std::string& program() const { return program_; }
 

@@ -124,6 +124,16 @@ KvConfig::get_double(const std::string& key, double fallback) const
     return parsed;
 }
 
+std::vector<std::string>
+KvConfig::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto& [key, value] : values_)
+        out.push_back(key);
+    return out;
+}
+
 bool
 KvConfig::get_bool(const std::string& key, bool fallback) const
 {

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace artmem {
 
@@ -50,6 +51,9 @@ class KvConfig
 
     /** Number of keys. */
     std::size_t size() const { return values_.size(); }
+
+    /** All keys, sorted (validation of expected-key sets). */
+    std::vector<std::string> keys() const;
 
   private:
     std::map<std::string, std::string> values_;

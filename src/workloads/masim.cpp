@@ -98,6 +98,33 @@ Masim::parse_spec(const KvConfig& config)
     const long long phase_count = config.get_int("phases", 0);
     if (phase_count <= 0)
         fatal("masim spec: 'phases' must be positive");
+    // Reject keys the schema does not define: a typo like
+    // "phase0.acesses = 1000" would otherwise silently fall back to the
+    // default and produce a mysteriously different workload.
+    for (const auto& key : config.keys()) {
+        bool known = key == "name" || key == "footprint_mib" ||
+                     key == "phases";
+        if (!known && key.rfind("phase", 0) == 0) {
+            const std::size_t dot = key.find('.');
+            if (dot != std::string::npos) {
+                const std::string index = key.substr(5, dot - 5);
+                const std::string field = key.substr(dot + 1);
+                const bool index_ok =
+                    !index.empty() &&
+                    index.find_first_not_of("0123456789") == std::string::npos;
+                known = index_ok &&
+                        (field == "accesses" || field == "regions" ||
+                         (field.rfind("region", 0) == 0 &&
+                          field.size() > 6 &&
+                          field.find_first_not_of("0123456789", 6) ==
+                              std::string::npos));
+            }
+        }
+        if (!known)
+            fatal("masim spec: unknown key '", key,
+                  "' (expected name, footprint_mib, phases, ",
+                  "phase<N>.accesses, phase<N>.regions, phase<N>.region<M>)");
+    }
     for (long long i = 0; i < phase_count; ++i) {
         const std::string prefix = "phase" + std::to_string(i) + ".";
         MasimPhase phase;
@@ -113,8 +140,17 @@ Masim::parse_spec(const KvConfig& config)
             double offset_mib = 0, size_mib = 0, weight = 0;
             std::string seq;
             if (!(in >> offset_mib >> size_mib >> weight))
-                fatal("masim spec: malformed ", key, ": ", *text);
+                fatal("masim spec: malformed ", key, ": '", *text,
+                      "' (expected '<offset_mib> <size_mib> <weight> ",
+                      "[seq|rand]')");
             in >> seq;
+            if (!seq.empty() && seq != "seq" && seq != "rand")
+                fatal("masim spec: ", key, ": unknown access mode '", seq,
+                      "' (expected seq or rand)");
+            std::string trailing;
+            if (in >> trailing)
+                fatal("masim spec: ", key, ": trailing garbage '", trailing,
+                      "'");
             MasimRegion region;
             region.offset = static_cast<Bytes>(offset_mib * (1 << 20));
             region.size = static_cast<Bytes>(size_mib * (1 << 20));

@@ -79,5 +79,38 @@ TEST(AsyncSampler, DropsUnderSustainedOverload)
     EXPECT_EQ(sampler.delivered() + sampler.dropped(), 50000u);
 }
 
+TEST(AsyncSampler, DrainsBacklogAfterConsumerBlackout)
+{
+    // A consumer blackout (the fault model's PEBS outage, here realized
+    // as a handler that refuses to make progress): the producer saturates
+    // the ring and sheds load. When the gate lifts, every record still
+    // queued must be delivered — stop() drains the backlog before
+    // joining — and the delivered/dropped accounting must cover every
+    // publish attempt exactly once.
+    std::atomic<bool> gate_open{false};
+    std::atomic<std::uint64_t> received{0};
+    AsyncSampler sampler(
+        64,
+        [&](std::span<const PebsSample> batch) {
+            while (!gate_open.load(std::memory_order_acquire))
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+            received.fetch_add(batch.size(), std::memory_order_relaxed);
+        },
+        std::chrono::microseconds(50));
+
+    std::uint64_t published = 0;
+    for (PageId p = 0; p < 20000; ++p) {
+        if (sampler.publish(p, Tier::kFast))
+            ++published;
+    }
+    EXPECT_GT(sampler.dropped(), 0u);  // blackout forced load shedding
+
+    gate_open.store(true, std::memory_order_release);
+    sampler.stop();
+    EXPECT_EQ(received.load(), published);
+    EXPECT_EQ(sampler.delivered(), published);
+    EXPECT_EQ(published + sampler.dropped(), 20000u);
+}
+
 }  // namespace
 }  // namespace artmem::memsim

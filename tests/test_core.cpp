@@ -200,6 +200,56 @@ TEST(ArtMemQTables, SaveLoadRoundTrip)
     EXPECT_DOUBLE_EQ(b.threshold_agent().table().at(2, 1), -0.5);
 }
 
+TEST(ArtMemQTables, MalformedBlobFallsBackToColdStart)
+{
+    // A corrupt pretrained blob must not kill the run (it is operator
+    // input, not an internal invariant): load_qtables() warns, reports
+    // false, and leaves the cold-start tables untouched.
+    ArtMem policy;
+    memsim::TieredMachine machine(machine_config(4, 8));
+    policy.init(machine);
+    const auto rejects = [&](const std::string& blob) {
+        std::istringstream in(blob);
+        return !policy.load_qtables(in);
+    };
+    EXPECT_TRUE(rejects(""));                  // empty
+    EXPECT_TRUE(rejects("not a qtable at all"));
+    EXPECT_TRUE(rejects("qtable 12 10\n1 2"));  // truncated body
+    // Right magic, wrong dimensions for both agents.
+    rl::QTable small(2, 2);
+    std::stringstream mismatched;
+    small.save(mismatched);
+    small.save(mismatched);
+    EXPECT_TRUE(rejects(mismatched.str()));
+    // A valid migration table followed by garbage must not be applied
+    // half-way: the migration agent stays cold too.
+    rl::QTable shaped(12, 10);
+    shaped.at(4, 4) = 9.0;
+    std::stringstream half;
+    shaped.save(half);
+    half << "garbage";
+    EXPECT_TRUE(rejects(half.str()));
+    EXPECT_DOUBLE_EQ(policy.migration_agent().table().at(4, 4), 0.0);
+    // Cold-start signature intact (Algorithm 1 line 1).
+    EXPECT_DOUBLE_EQ(policy.migration_agent().table().at(10, 0), 1.0);
+}
+
+TEST(ArtMemQTables, BadPretrainedBlobStillRuns)
+{
+    // The CLI path: set_pretrained_qtables() with a truncated blob is
+    // installed at init() time; the run must proceed from a cold start
+    // rather than dying mid-experiment.
+    ArtMemConfig cfg;
+    ArtMem policy(cfg);
+    policy.set_pretrained_qtables("qtable 12 10\n0.25 truncated");
+    workloads::Masim gen(hot_high_spec(500000), kPage, 13);
+    memsim::TieredMachine machine(machine_config(256, 512));
+    sim::EngineConfig engine;
+    const auto r = sim::run_simulation(gen, policy, machine, engine);
+    EXPECT_EQ(r.accesses, 500000u);
+    EXPECT_GT(policy.periods(), 0u);
+}
+
 TEST(ArtMemGuard, NeverSwapsHotForHot)
 {
     // Pattern-S4 style trap: the hot set exceeds the fast tier and all
@@ -232,9 +282,10 @@ TEST(ArtMemGuard, NeverSwapsHotForHot)
         if (i >= r.timeline.size() * 3 / 4)
             late += moved;
     }
-    if (total > 0)
+    if (total > 0) {
         EXPECT_LT(static_cast<double>(late) / static_cast<double>(total),
                   0.3);
+    }
 }
 
 TEST(ArtMemPretrained, TablesInstalledAfterInit)

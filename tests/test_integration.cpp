@@ -8,9 +8,11 @@
 
 #include <filesystem>
 
+#include "../bench/bench_common.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiment.hpp"
 #include "sim/registry.hpp"
+#include "util/cli.hpp"
 #include "workloads/masim.hpp"
 #include "workloads/simple.hpp"
 #include "workloads/trace.hpp"
@@ -142,6 +144,100 @@ TEST(MasimEdges, MalformedConfigLineIsFatal)
 {
     EXPECT_EXIT(KvConfig::parse("this line has no equals sign"),
                 ::testing::ExitedWithCode(1), "missing '='");
+}
+
+TEST(MasimEdges, UnknownSpecKeyIsFatalAndNamed)
+{
+    // A typo ("acesses") must not silently fall back to a default; the
+    // error names the offending key.
+    const auto cfg = KvConfig::parse(
+        "name = typo\nfootprint_mib = 8\nphases = 1\n"
+        "phase0.acesses = 100\nphase0.regions = 1\n"
+        "phase0.region0 = 0 8 1.0\n");
+    EXPECT_EXIT(workloads::Masim::parse_spec(cfg),
+                ::testing::ExitedWithCode(1), "phase0.acesses");
+}
+
+TEST(MasimEdges, NonNumericRegionTripleIsFatal)
+{
+    const auto cfg = KvConfig::parse(
+        "name = bad\nfootprint_mib = 8\nphases = 1\n"
+        "phase0.accesses = 100\nphase0.regions = 1\n"
+        "phase0.region0 = zero 8 1.0\n");
+    EXPECT_EXIT(workloads::Masim::parse_spec(cfg),
+                ::testing::ExitedWithCode(1), "malformed phase0.region0");
+}
+
+TEST(MasimEdges, UnknownRegionModeIsFatal)
+{
+    const auto cfg = KvConfig::parse(
+        "name = bad\nfootprint_mib = 8\nphases = 1\n"
+        "phase0.accesses = 100\nphase0.regions = 1\n"
+        "phase0.region0 = 0 8 1.0 sequentialish\n");
+    EXPECT_EXIT(workloads::Masim::parse_spec(cfg),
+                ::testing::ExitedWithCode(1), "unknown access mode");
+}
+
+TEST(MasimEdges, TrailingGarbageInRegionIsFatal)
+{
+    const auto cfg = KvConfig::parse(
+        "name = bad\nfootprint_mib = 8\nphases = 1\n"
+        "phase0.accesses = 100\nphase0.regions = 1\n"
+        "phase0.region0 = 0 8 1.0 seq extra\n");
+    EXPECT_EXIT(workloads::Masim::parse_spec(cfg),
+                ::testing::ExitedWithCode(1), "trailing garbage");
+}
+
+TEST(MasimEdges, NonNumericValueForIntKeyIsFatal)
+{
+    const auto cfg = KvConfig::parse(
+        "name = bad\nfootprint_mib = lots\nphases = 1\n"
+        "phase0.accesses = 100\nphase0.regions = 1\n"
+        "phase0.region0 = 0 8 1.0\n");
+    EXPECT_EXIT(workloads::Masim::parse_spec(cfg),
+                ::testing::ExitedWithCode(1), "footprint_mib");
+}
+
+TEST(ShippedConfigs, AllPassTheStrictKeyValidation)
+{
+    // Every config we ship must survive the unknown-key rejection added
+    // to parse_spec; a config drifting out of the schema is a bug here,
+    // not at the user's machine.
+    for (const char* name : {"s1.cfg", "s2.cfg", "s3.cfg", "s4.cfg",
+                             "mixed_demo.cfg"}) {
+        const auto path = repo_config(name);
+        if (path.empty())
+            GTEST_SKIP() << "configs/ not found from test cwd";
+        const auto spec =
+            workloads::Masim::parse_spec(KvConfig::load(path));
+        EXPECT_FALSE(spec.phases.empty()) << name;
+    }
+}
+
+TEST(CliEdges, FlagNamesEnumeratesParsedFlags)
+{
+    const char* argv[] = {"prog", "--seed=7", "--csv", "run"};
+    const auto args = CliArgs::parse(4, const_cast<char**>(argv));
+    const auto names = args.flag_names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "csv");  // sorted
+    EXPECT_EQ(names[1], "seed");
+}
+
+TEST(BenchOptionsEdges, UnknownFlagIsFatalAndNamed)
+{
+    const char* argv[] = {"bench", "--acesses=100"};
+    EXPECT_EXIT(
+        bench::BenchOptions::parse(2, const_cast<char**>(argv)),
+        ::testing::ExitedWithCode(1), "unknown flag --acesses");
+}
+
+TEST(BenchOptionsEdges, ExtraFlagsAreAccepted)
+{
+    const char* argv[] = {"bench", "--workload=s1", "--quick"};
+    const auto opt = bench::BenchOptions::parse(
+        3, const_cast<char**>(argv), 8000, {"workload"});
+    EXPECT_EQ(opt.accesses, 2000u);  // --quick quarters the default
 }
 
 TEST(PebsOverload, TinyBufferDropsButEngineSurvives)

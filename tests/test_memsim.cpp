@@ -223,6 +223,62 @@ TEST(RingBuffer, SpscThreadedTransfer)
     EXPECT_EQ(pushed + rb.dropped(), kItems);
 }
 
+TEST(RingBuffer, WraparoundPreservesFifoAcrossManyCycles)
+{
+    // Cycle the indices through the power-of-two mask many times over:
+    // the unmasked head/tail counters must keep FIFO order and exact
+    // size accounting across every wrap.
+    RingBuffer<int> rb(8);
+    int next_in = 0, next_out = 0;
+    for (int round = 0; round < 1000; ++round) {
+        for (int i = 0; i < 5; ++i)
+            ASSERT_TRUE(rb.push(next_in++));
+        for (int i = 0; i < 5; ++i) {
+            const auto v = rb.pop();
+            ASSERT_TRUE(v.has_value());
+            ASSERT_EQ(*v, next_out++);
+        }
+    }
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_EQ(rb.dropped(), 0u);
+}
+
+TEST(RingBuffer, ExactDropAccountingUnderSaturation)
+{
+    // A saturating producer (a PEBS burst with no consumer scheduled):
+    // the first `capacity` records land, every later one is dropped and
+    // counted, and nothing already queued is overwritten.
+    RingBuffer<int> rb(8);
+    for (int i = 0; i < 100; ++i)
+        rb.push(i);
+    EXPECT_EQ(rb.size(), 8u);
+    EXPECT_EQ(rb.dropped(), 92u);
+    std::vector<int> out;
+    EXPECT_EQ(rb.drain(out, 100), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RingBuffer, RecoversAfterDrainedBlackoutBacklog)
+{
+    // Consumer blackout: the producer saturates the buffer, then the
+    // consumer comes back and drains everything. The buffer must accept
+    // new records again with no residual state from the overload.
+    RingBuffer<int> rb(4);
+    for (int i = 0; i < 20; ++i)
+        rb.push(i);
+    const auto dropped_during_blackout = rb.dropped();
+    EXPECT_EQ(dropped_during_blackout, 16u);
+    std::vector<int> out;
+    rb.drain(out, 100);
+    EXPECT_EQ(rb.size(), 0u);
+    for (int i = 100; i < 104; ++i)
+        EXPECT_TRUE(rb.push(i));
+    EXPECT_EQ(rb.pop().value(), 100);
+    // No new drops after recovery.
+    EXPECT_EQ(rb.dropped(), dropped_during_blackout);
+}
+
 TEST(PebsSampler, SamplesEveryNth)
 {
     PebsSampler sampler({.period = 10, .buffer_capacity = 1024});

@@ -71,6 +71,42 @@ TEST(QTable, SaveLoadRoundTrip)
     EXPECT_DOUBLE_EQ(loaded.at(1, 1), 0.0);
 }
 
+TEST(QTable, TryLoadRejectsMalformedBlobs)
+{
+    const auto rejects = [](const std::string& blob) {
+        std::istringstream in(blob);
+        std::string error;
+        const auto table = QTable::try_load(in, &error);
+        EXPECT_FALSE(table.has_value()) << blob;
+        EXPECT_FALSE(error.empty()) << blob;
+        return !table.has_value();
+    };
+    EXPECT_TRUE(rejects(""));                           // empty stream
+    EXPECT_TRUE(rejects("garbage 2 3\n0 0 0\n0 0 0"));  // wrong magic
+    EXPECT_TRUE(rejects("qtable -2 3\n"));              // negative dims
+    EXPECT_TRUE(rejects("qtable 0 5\n"));               // zero dims
+    EXPECT_TRUE(rejects("qtable 99999999 99999999\n")); // implausible dims
+    EXPECT_TRUE(rejects("qtable 2 2\n1 2\n3"));         // truncated body
+    EXPECT_TRUE(rejects("qtable 2 2\n1 2\nx 4"));       // non-numeric body
+    EXPECT_TRUE(rejects("qtable 2 2\n1 2\nnan 4"));     // non-finite entry
+    EXPECT_TRUE(rejects("qtable 2 2\n1 inf\n3 4"));     // non-finite entry
+}
+
+TEST(QTable, TryLoadAcceptsWhatSaveProduces)
+{
+    QTable q(3, 2);
+    q.at(0, 1) = -2.5;
+    q.at(2, 0) = 11.0;
+    std::stringstream blob;
+    q.save(blob);
+    const auto loaded = QTable::try_load(blob);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->states(), 3);
+    EXPECT_EQ(loaded->actions(), 2);
+    EXPECT_DOUBLE_EQ(loaded->at(0, 1), -2.5);
+    EXPECT_DOUBLE_EQ(loaded->at(2, 0), 11.0);
+}
+
 TEST(QTable, MemoryFootprintIsSmall)
 {
     // Section 6.4: the two ArtMem Q-tables occupy < 10 KB together.

@@ -16,8 +16,10 @@
 #include <iostream>
 #include <sstream>
 
+#include "memsim/fault_injector.hpp"
 #include "sim/experiment.hpp"
 #include "util/cli.hpp"
+#include "util/config.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 #include "workloads/trace.hpp"
@@ -53,6 +55,24 @@ parse_spec(const CliArgs& args)
     spec.accesses =
         static_cast<std::uint64_t>(args.get_int("accesses", 6000000));
     spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+    // Fault model: a built-in scenario or a fault.* config file.
+    const std::string scenario = args.get_string("fault-scenario", "");
+    const std::string fault_file = args.get_string("fault-config", "");
+    if (!scenario.empty() && !fault_file.empty())
+        fatal("--fault-scenario and --fault-config are mutually exclusive");
+    if (!scenario.empty()) {
+        spec.engine.faults = memsim::make_fault_scenario(
+            scenario,
+            static_cast<std::uint64_t>(args.get_int("fault-seed", 1)));
+    } else if (!fault_file.empty()) {
+        spec.engine.faults =
+            memsim::parse_fault_config(KvConfig::load(fault_file));
+        if (args.has("fault-seed")) {
+            spec.engine.faults.seed =
+                static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+        }
+    }
     return spec;
 }
 
@@ -68,7 +88,16 @@ print_result(const sim::RunResult& r, const sim::RunSpec& spec)
               << " demoted=" << r.totals.demoted_pages
               << " exchanged=" << r.totals.exchanges
               << ") hint_faults=" << r.totals.hint_faults
-              << " pebs=" << r.pebs_recorded << "\n";
+              << " pebs=" << r.pebs_recorded;
+    if (r.totals.migration_failures() > 0 || r.pebs_suppressed > 0) {
+        std::cout << " migration_failures=" << r.totals.migration_failures()
+                  << " (pinned=" << r.totals.failed_pinned
+                  << " transient=" << r.totals.failed_transient
+                  << " contended=" << r.totals.failed_contended
+                  << " no_slot=" << r.totals.failed_no_slot
+                  << ") pebs_suppressed=" << r.pebs_suppressed;
+    }
+    std::cout << "\n";
 }
 
 int
@@ -218,7 +247,9 @@ main(int argc, char** argv)
             << "usage: artmem <list|run|sweep|train|trace-record|"
                "trace-run> [flags]\n"
                "flags: --workload= --policy= --ratio=F:S --accesses=N "
-               "--seed=N --timeline --qtables= --out= --trace= --csv\n";
+               "--seed=N --timeline --qtables= --out= --trace= --csv\n"
+               "       --fault-scenario=<none|migration|degrade|blackout|"
+               "pressure> --fault-config=<file> --fault-seed=N\n";
         return 1;
     }
     const std::string& command = args.positional()[0];
