@@ -96,8 +96,14 @@ ArtMem::on_samples(std::span<const memsim::PebsSample> samples)
     for (const auto& s : samples) {
         bins_->record(s.page);
         tracker_->record(s.tier);
+        // Sort on the page's *current* tier, not the tier recorded at
+        // sample time: the sample may have sat in the PEBS buffer across
+        // a migration interval, and touch() re-homes the page to
+        // whichever tier it is told, so a stale s.tier would link a
+        // migrated page onto the wrong tier's LRU list (caught by
+        // verify::Invariant::kLruResidency).
         if (config_.use_sorting)
-            lists_->touch(s.page, s.tier);
+            lists_->touch(s.page, m.tier_of(s.page));
         window_latency_sum_ +=
             m.config().tiers[static_cast<int>(s.tier)].load_latency_ns;
         ++window_latency_samples_;
