@@ -50,9 +50,9 @@ main(int argc, char** argv)
              static_cast<double>(results[0].runtime_ns) -
          1.0) *
         100.0;
-    std::cout << "\nruntime: ratio-reward "
+    std::cout << "\nruntime: " << labels[0] << " "
               << format_fixed(results[0].seconds() * 1e3, 1)
-              << " ms, latency-reward "
+              << " ms, " << labels[1] << " "
               << format_fixed(results[1].seconds() * 1e3, 1)
               << " ms  -> latency reward is "
               << format_fixed(delta, 1)

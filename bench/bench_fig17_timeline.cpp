@@ -64,8 +64,8 @@ main(int argc, char** argv)
               << tpp.totals.migrated_pages() << " pages ("
               << format_fixed(
                      static_cast<double>(tpp.totals.migrated_pages()) /
-                         std::max<std::uint64_t>(
-                             1, artmem.totals.migrated_pages()),
+                         static_cast<double>(std::max<std::uint64_t>(
+                             1, artmem.totals.migrated_pages())),
                      1)
               << "x; paper: 17.5x)\n";
     return 0;

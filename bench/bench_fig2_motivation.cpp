@@ -40,7 +40,8 @@ main(int argc, char** argv)
                   "multiclock", "nimble", "tiering08", "artmem"});
 
     for (int k = 1; k <= 4; ++k) {
-        const std::string pattern = "s" + std::to_string(k);
+        std::string pattern = "s";
+        pattern += std::to_string(k);
         auto base_spec = make_spec(opt, pattern, "static", {1, 1});
         const auto base = sim::run_experiment(base_spec);
 

@@ -260,7 +260,8 @@ ArtMem::demote_for_room(std::size_t need)
     std::size_t scanned = 0;
     while (demoted < need && scanned < pages) {
         const PageId page = cold_scan_cursor_;
-        cold_scan_cursor_ = (cold_scan_cursor_ + 1) % pages;
+        cold_scan_cursor_ =
+            static_cast<PageId>((cold_scan_cursor_ + 1) % pages);
         ++scanned;
         if (m.is_allocated(page) && m.tier_of(page) == Tier::kFast &&
             lists_->where(page) == lru::ListId::kNone && !backed_off(page)) {

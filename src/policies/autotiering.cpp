@@ -51,7 +51,7 @@ AutoTiering::on_tick(SimTimeNs now)
                                     throttle_.tick()));
     for (std::size_t i = 0; i < window; ++i) {
         const PageId page = scan_cursor_;
-        scan_cursor_ = (scan_cursor_ + 1) % pages;
+        scan_cursor_ = static_cast<PageId>((scan_cursor_ + 1) % pages);
         if (m.is_allocated(page))
             m.set_trap(page);
     }
@@ -70,7 +70,7 @@ AutoTiering::find_cold_fast_page()
     for (std::size_t i = 0; i < pages && examined < config_.victim_scan;
          ++i) {
         const PageId page = victim_cursor_;
-        victim_cursor_ = (victim_cursor_ + 1) % pages;
+        victim_cursor_ = static_cast<PageId>((victim_cursor_ + 1) % pages);
         if (!m.is_allocated(page) ||
             m.tier_of(page) != memsim::Tier::kFast) {
             continue;

@@ -22,7 +22,7 @@ MultiClock::sweep_slow_hand(std::size_t budget)
     std::size_t examined = 0;
     for (std::size_t i = 0; i < pages && examined < budget; ++i) {
         const PageId page = slow_hand_;
-        slow_hand_ = (slow_hand_ + 1) % pages;
+        slow_hand_ = static_cast<PageId>((slow_hand_ + 1) % pages);
         if (!m.is_allocated(page) ||
             m.tier_of(page) != memsim::Tier::kSlow) {
             continue;
@@ -61,7 +61,7 @@ MultiClock::sweep_fast_hand(std::size_t budget)
     std::size_t examined = 0;
     for (std::size_t i = 0; i < pages && examined < budget; ++i) {
         const PageId page = fast_hand_;
-        fast_hand_ = (fast_hand_ + 1) % pages;
+        fast_hand_ = static_cast<PageId>((fast_hand_ + 1) % pages);
         if (!m.is_allocated(page) ||
             m.tier_of(page) != memsim::Tier::kFast) {
             continue;

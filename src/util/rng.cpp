@@ -56,9 +56,11 @@ Rng::next_below(std::uint64_t bound)
     if (bound == 0)
         panic("Rng::next_below called with bound 0");
     // Lemire multiply-shift; the slight modulo bias is irrelevant for
-    // simulation workloads (bound << 2^64).
+    // simulation workloads (bound << 2^64). __int128 is a GCC/Clang
+    // extension; __extension__ keeps -Wpedantic quiet about it.
+    __extension__ typedef unsigned __int128 uint128;
     return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+        (static_cast<uint128>(next()) * bound) >> 64);
 }
 
 std::uint64_t

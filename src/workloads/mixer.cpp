@@ -20,10 +20,9 @@ Mixer::Mixer(std::vector<std::unique_ptr<AccessGenerator>> children,
         Child child;
         child.page_offset = static_cast<PageId>(offset / page_size);
         total_ += gen->total_accesses();
-        if (children_.empty())
-            name_ += std::string(gen->name());
-        else
-            name_ += "+" + std::string(gen->name());
+        if (!children_.empty())
+            name_ += '+';
+        name_ += gen->name();
         // Stack footprints page-aligned.
         const Bytes aligned =
             (gen->footprint() + page_size - 1) / page_size * page_size;

@@ -89,7 +89,9 @@ INSTANTIATE_TEST_SUITE_P(
         SkewCase{"xsbench", 0.55, 0.95},
         // uniform control: top decile holds ~10%
         SkewCase{"uniform", 0.08, 0.15}),
-    [](const auto& info) { return std::string(info.param.workload); });
+    [](const auto& suite_info) {
+        return std::string(suite_info.param.workload);
+    });
 
 TEST(BtreeLevels, UpperLevelsExponentiallyHotter)
 {

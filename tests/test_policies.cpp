@@ -105,7 +105,9 @@ INSTANTIATE_TEST_SUITE_P(
     AllSystems, PolicyImprovesRatio,
     ::testing::Values("autonuma", "tpp", "autotiering", "nimble",
                       "multiclock", "memtis", "tiering08", "artmem"),
-    [](const auto& info) { return std::string(info.param); });
+    [](const auto& suite_info) {
+        return std::string(suite_info.param);
+    });
 
 TEST(AutoNuma, PromotesViaTwoFaults)
 {

@@ -160,8 +160,9 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values("static", "autonuma", "tpp", "autotiering",
                           "nimble", "multiclock", "memtis", "tiering08",
                           "artmem")),
-    [](const auto& info) {
-        return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    [](const auto& suite_info) {
+        return std::get<0>(suite_info.param) + "_" +
+               std::get<1>(suite_info.param);
     });
 
 }  // namespace

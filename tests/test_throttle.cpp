@@ -83,9 +83,10 @@ TEST_P(ThrottleConvergence, FaultRateSettlesNearTarget)
     // fault rate sits inside the band with one doubling of slack.
     const auto floor_faults = static_cast<std::uint64_t>(
         (1.0 / 4096.0) * static_cast<double>(population));
-    if (population >= 100)
+    if (population >= 100) {
         EXPECT_LE(faults, std::max<std::uint64_t>(2 * 100u * 2,
                                                   2 * floor_faults));
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Populations, ThrottleConvergence,

@@ -179,7 +179,9 @@ TEST(Patterns, S2PhasesAreTransient)
     std::uint64_t in_first = 0;
     for (PageId p : buf)
         in_first += p < 1024;
-    EXPECT_GT(static_cast<double>(in_first) / buf.size(), 0.85);
+    EXPECT_GT(static_cast<double>(in_first) /
+                  static_cast<double>(buf.size()),
+              0.85);
     // Drain to the final phase.
     for (int i = 0; i < 6; ++i)
         gen.fill(buf);
@@ -188,7 +190,9 @@ TEST(Patterns, S2PhasesAreTransient)
     std::uint64_t in_last = 0;
     for (PageId p : buf)
         in_last += p >= last_base && p < last_base + 1024;
-    EXPECT_GT(static_cast<double>(in_last) / buf.size(), 0.85);
+    EXPECT_GT(static_cast<double>(in_last) /
+                  static_cast<double>(buf.size()),
+              0.85);
 }
 
 TEST(Ycsb, LoadPhaseIsSequential)
