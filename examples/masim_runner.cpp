@@ -31,7 +31,7 @@ main(int argc, char** argv)
     if (args.positional().empty()) {
         std::cerr << "usage: " << args.program()
                   << " <config-file> [--policy=artmem] [--ratio=1:1]"
-                     " [--seed=N] [--timeline]\n";
+                     " [--seed=N] [--timeline] [--check-invariants]\n";
         return 1;
     }
 
@@ -57,6 +57,7 @@ main(int argc, char** argv)
         sim::make_policy(args.get_string("policy", "artmem"), seed);
     sim::EngineConfig engine;
     engine.record_timeline = args.get_bool("timeline", false);
+    engine.check_invariants = args.get_bool("check-invariants", false);
 
     const auto r = sim::run_simulation(gen, *policy, machine, engine);
 

@@ -104,8 +104,17 @@ class ArtMem final : public policies::Policy
     /** The migration-number agent (Q-table inspection / Fig. 14). */
     rl::TdAgent& migration_agent() { return *migration_agent_; }
 
+    /** Read-only migration agent (invariant audits). */
+    const rl::TdAgent& migration_agent() const { return *migration_agent_; }
+
     /** The threshold agent. */
     rl::TdAgent& threshold_agent() { return *threshold_agent_; }
+
+    /** Read-only threshold agent. */
+    const rl::TdAgent& threshold_agent() const { return *threshold_agent_; }
+
+    /** True once init() built the per-run structures. */
+    bool initialized() const { return bins_ != nullptr; }
 
     /** Histogram access (tests). */
     const stats::EmaBins& bins() const { return *bins_; }

@@ -233,13 +233,21 @@ FaultInjector::page_pinned(PageId page) const
 bool
 FaultInjector::migration_transient_abort()
 {
-    return config_.transient_rate > 0.0 && draw() < config_.transient_rate;
+    const bool abort =
+        config_.transient_rate > 0.0 && draw() < config_.transient_rate;
+    if (abort)
+        ++transient_aborts_;
+    return abort;
 }
 
 bool
 FaultInjector::migration_contended()
 {
-    return config_.contended_rate > 0.0 && draw() < config_.contended_rate;
+    const bool contended =
+        config_.contended_rate > 0.0 && draw() < config_.contended_rate;
+    if (contended)
+        ++contended_hits_;
+    return contended;
 }
 
 bool
@@ -276,10 +284,15 @@ FaultInjector::sampling_blackout(SimTimeNs now) const
 bool
 FaultInjector::sample_suppressed(SimTimeNs now)
 {
-    if (sampling_blackout(now))
+    if (sampling_blackout(now)) {
+        ++suppressed_samples_;
         return true;
-    return config_.sample_drop_rate > 0.0 &&
-           draw() < config_.sample_drop_rate;
+    }
+    const bool dropped = config_.sample_drop_rate > 0.0 &&
+                         draw() < config_.sample_drop_rate;
+    if (dropped)
+        ++suppressed_samples_;
+    return dropped;
 }
 
 std::size_t

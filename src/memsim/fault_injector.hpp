@@ -164,6 +164,19 @@ class FaultInjector
     /** Draws consumed so far (tests: schedule progress). */
     std::uint64_t draws() const { return draw_counter_; }
 
+    // --- reconciliation bookkeeping (verify/invariant_checker) -----------
+
+    /** Transient-abort draws that came up true. Every one must appear
+     *  as a failed_transient in the machine's counters. */
+    std::uint64_t transient_aborts() const { return transient_aborts_; }
+
+    /** Contention draws that came up true (a lower bound on the
+     *  machine's failed_contended: capacity pressure adds more). */
+    std::uint64_t contended_hits() const { return contended_hits_; }
+
+    /** Samples suppressed via sample_suppressed() (blackout or drop). */
+    std::uint64_t suppressed_samples() const { return suppressed_samples_; }
+
   private:
     double draw();
     bool in_window(SimTimeNs now, SimTimeNs period, SimTimeNs duration,
@@ -175,6 +188,9 @@ class FaultInjector
     SimTimeNs blackout_offset_ = 0;
     SimTimeNs pressure_offset_ = 0;
     std::uint64_t draw_counter_ = 0;
+    std::uint64_t transient_aborts_ = 0;
+    std::uint64_t contended_hits_ = 0;
+    std::uint64_t suppressed_samples_ = 0;
 };
 
 }  // namespace artmem::memsim

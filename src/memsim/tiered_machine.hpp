@@ -341,6 +341,11 @@ class TieredMachine
     Counters take_window();
 
   private:
+    /** Test-only back door: seeds deliberate state corruption so the
+     *  invariant checker's detection paths can be exercised
+     *  (tests/test_verify.cpp). Never defined in the library. */
+    friend struct MachineTestPeer;
+
     static constexpr std::uint8_t kTierBit = 0x1;       // 0 fast, 1 slow
     static constexpr std::uint8_t kAllocatedBit = 0x2;
     static constexpr std::uint8_t kAccessedBit = 0x4;

@@ -2,6 +2,10 @@
 
 #include "util/logging.hpp"
 
+#if ARTMEM_CHECK_INVARIANTS
+#include "verify/invariant_checker.hpp"
+#endif
+
 namespace artmem::sim {
 
 RunResult
@@ -25,6 +29,17 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
     policy.init(machine);
     memsim::PebsSampler sampler(config.pebs);
     std::uint64_t pebs_suppressed = 0;
+
+#if ARTMEM_CHECK_INVARIANTS
+    verify::InvariantChecker checker;
+    const bool check_invariants = config.check_invariants;
+#else
+    const bool check_invariants = false;
+    if (config.check_invariants) {
+        warn("run_simulation: check_invariants requested but this binary ",
+             "was built with ARTMEM_CHECK_INVARIANTS=OFF; auditing skipped");
+    }
+#endif
 
     std::vector<PageId> batch(config.batch_size);
     std::vector<memsim::PebsSample> drained;
@@ -62,6 +77,14 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
             result.timeline.push_back(interval);
         }
         interval_start_accesses = result.accesses;
+#if ARTMEM_CHECK_INVARIANTS
+        if (check_invariants) {
+            checker.audit(machine, policy, pebs_suppressed);
+            result.invariant_audits = checker.audits();
+        }
+#else
+        (void)check_invariants;
+#endif
     };
 
     while (true) {

@@ -51,6 +51,14 @@ struct EngineConfig {
      * without the fault layer.
      */
     memsim::FaultConfig faults;
+    /**
+     * Audit simulator invariants (residency, LRU partition, EMA mass,
+     * fault accounting, Q-table bounds; see verify/invariant_checker.hpp)
+     * after every decision interval. Requires a build with
+     * ARTMEM_CHECK_INVARIANTS=ON (the default); a violation throws
+     * verify::InvariantViolation out of run_simulation().
+     */
+    bool check_invariants = false;
 };
 
 /** One decision interval's ground-truth observation. */
@@ -74,6 +82,7 @@ struct RunResult {
     std::uint64_t pebs_recorded = 0;
     std::uint64_t pebs_dropped = 0;
     std::uint64_t pebs_suppressed = 0;    ///< Samples lost to injected faults.
+    std::uint64_t invariant_audits = 0;   ///< Audits run (check_invariants).
     std::vector<IntervalRecord> timeline; ///< If record_timeline.
 
     /** Runtime in seconds. */

@@ -89,6 +89,10 @@ class EmaBins
     std::size_t page_count() const { return counts_.size(); }
 
   private:
+    /** Test-only back door for deliberate histogram corruption
+     *  (tests/test_verify.cpp). Never defined in the library. */
+    friend struct EmaBinsTestPeer;
+
     std::vector<std::uint32_t> counts_;
     std::uint64_t bins_[kBins] = {};
     std::uint64_t cooling_period_;

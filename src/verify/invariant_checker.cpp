@@ -1,0 +1,336 @@
+#include "verify/invariant_checker.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "memsim/fault_injector.hpp"
+
+namespace artmem::verify {
+
+using lru::ListId;
+using memsim::Tier;
+
+std::string_view
+invariant_name(Invariant invariant)
+{
+    switch (invariant) {
+    case Invariant::kResidencyCount:
+        return "residency_count";
+    case Invariant::kTierCapacity:
+        return "tier_capacity";
+    case Invariant::kLruStructure:
+        return "lru_structure";
+    case Invariant::kLruResidency:
+        return "lru_residency";
+    case Invariant::kEmaBinMass:
+        return "ema_bin_mass";
+    case Invariant::kFaultAccounting:
+        return "fault_accounting";
+    case Invariant::kQTableValue:
+        return "qtable_value";
+    }
+    return "unknown";
+}
+
+InvariantViolation::InvariantViolation(Invariant which,
+                                       const std::string& detail)
+    : std::runtime_error(std::string("invariant violated [") +
+                         std::string(invariant_name(which)) + "]: " + detail),
+      which_(which)
+{
+}
+
+namespace {
+
+[[noreturn]] void
+violate(Invariant which, const std::string& detail)
+{
+    throw InvariantViolation(which, detail);
+}
+
+const char*
+list_name(ListId list)
+{
+    switch (list) {
+    case ListId::kFastActive:
+        return "fast_active";
+    case ListId::kFastInactive:
+        return "fast_inactive";
+    case ListId::kSlowActive:
+        return "slow_active";
+    case ListId::kSlowInactive:
+        return "slow_inactive";
+    case ListId::kNone:
+        return "none";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+InvariantChecker::check_machine(const memsim::TieredMachine& machine)
+{
+    const std::size_t pages = machine.page_count();
+    std::size_t counted[memsim::kTierCount] = {0, 0};
+    for (PageId page = 0; page < pages; ++page) {
+        if (machine.is_allocated(page))
+            ++counted[static_cast<std::size_t>(machine.tier_of(page))];
+    }
+    for (int t = 0; t < memsim::kTierCount; ++t) {
+        const Tier tier = static_cast<Tier>(t);
+        const std::size_t used = machine.used_pages(tier);
+        const std::size_t cap = machine.capacity_pages(tier);
+        if (counted[static_cast<std::size_t>(t)] != used) {
+            std::ostringstream os;
+            os << "tier " << memsim::tier_name(tier) << " tracks " << used
+               << " resident pages but the residency map holds "
+               << counted[static_cast<std::size_t>(t)] << " (of " << pages
+               << " total pages)";
+            violate(Invariant::kResidencyCount, os.str());
+        }
+        if (used > cap) {
+            std::ostringstream os;
+            os << "tier " << memsim::tier_name(tier) << " holds " << used
+               << " pages over its capacity of " << cap;
+            violate(Invariant::kTierCapacity, os.str());
+        }
+    }
+}
+
+void
+InvariantChecker::check_lru(const lru::LruLists& lists,
+                            const memsim::TieredMachine& machine)
+{
+    const std::size_t pages = lists.page_count();
+    if (pages != machine.page_count()) {
+        std::ostringstream os;
+        os << "LRU page space (" << pages << ") differs from the machine's ("
+           << machine.page_count() << ")";
+        violate(Invariant::kLruStructure, os.str());
+    }
+
+    constexpr ListId kLists[] = {ListId::kFastActive, ListId::kFastInactive,
+                                 ListId::kSlowActive, ListId::kSlowInactive};
+    std::size_t census[4] = {0, 0, 0, 0};
+    for (PageId page = 0; page < pages; ++page) {
+        const ListId at = lists.where(page);
+        if (at == ListId::kNone)
+            continue;
+        ++census[static_cast<std::size_t>(at)];
+        if (!machine.is_allocated(page)) {
+            std::ostringstream os;
+            os << "page " << page << " is linked on " << list_name(at)
+               << " but not allocated";
+            violate(Invariant::kLruResidency, os.str());
+        }
+        if (machine.tier_of(page) != lru::list_tier(at)) {
+            std::ostringstream os;
+            os << "page " << page << " is linked on " << list_name(at)
+               << " but resides in the "
+               << memsim::tier_name(machine.tier_of(page)) << " tier";
+            violate(Invariant::kLruResidency, os.str());
+        }
+    }
+
+    for (ListId list : kLists) {
+        const std::size_t size = lists.size(list);
+        if (census[static_cast<std::size_t>(list)] != size) {
+            std::ostringstream os;
+            os << list_name(list) << " claims " << size << " pages but "
+               << census[static_cast<std::size_t>(list)]
+               << " pages carry its label";
+            violate(Invariant::kLruStructure, os.str());
+        }
+        // Walk head -> tail: the chain must visit exactly size() labelled
+        // nodes with consistent back links and then terminate. A page
+        // linked twice (or a cycle) either breaks the back links or
+        // fails to terminate within size() steps.
+        std::size_t walked = 0;
+        PageId prev = kInvalidPage;
+        PageId page = lists.head(list);
+        while (page != kInvalidPage) {
+            if (walked == size) {
+                std::ostringstream os;
+                os << list_name(list) << " walk exceeds its size of " << size
+                   << " (cycle or duplicate link at page " << page << ")";
+                violate(Invariant::kLruStructure, os.str());
+            }
+            if (lists.where(page) != list) {
+                std::ostringstream os;
+                os << "page " << page << " reached walking "
+                   << list_name(list) << " but is labelled "
+                   << list_name(lists.where(page));
+                violate(Invariant::kLruStructure, os.str());
+            }
+            if (lists.prev(page) != prev) {
+                std::ostringstream os;
+                os << list_name(list) << " back link of page " << page
+                   << " points to " << lists.prev(page) << ", expected "
+                   << prev;
+                violate(Invariant::kLruStructure, os.str());
+            }
+            prev = page;
+            page = lists.next(page);
+            ++walked;
+        }
+        if (walked != size) {
+            std::ostringstream os;
+            os << list_name(list) << " walk visited " << walked
+               << " pages but the list claims " << size;
+            violate(Invariant::kLruStructure, os.str());
+        }
+        if (lists.tail(list) != prev) {
+            std::ostringstream os;
+            os << list_name(list) << " tail is " << lists.tail(list)
+               << " but the walk ended at " << prev;
+            violate(Invariant::kLruStructure, os.str());
+        }
+    }
+}
+
+void
+InvariantChecker::check_ema(const stats::EmaBins& bins)
+{
+    const std::size_t pages = bins.page_count();
+    std::uint64_t recount[stats::EmaBins::kBins] = {};
+    for (PageId page = 0; page < pages; ++page)
+        ++recount[static_cast<std::size_t>(
+            stats::EmaBins::bin_of(bins.count(page)))];
+
+    std::uint64_t mass = 0;
+    for (int b = 0; b < stats::EmaBins::kBins; ++b) {
+        const std::uint64_t tracked = bins.bin_pages(b);
+        mass += tracked;
+        if (tracked != recount[static_cast<std::size_t>(b)]) {
+            std::ostringstream os;
+            os << "bin " << b << " (counts >= "
+               << stats::EmaBins::bin_floor(b) << ") tracks " << tracked
+               << " pages but the per-page counters place "
+               << recount[static_cast<std::size_t>(b)] << " there";
+            violate(Invariant::kEmaBinMass, os.str());
+        }
+    }
+    if (mass != pages) {
+        std::ostringstream os;
+        os << "total bin mass " << mass << " differs from the page space "
+           << pages;
+        violate(Invariant::kEmaBinMass, os.str());
+    }
+}
+
+void
+InvariantChecker::check_fault_accounting(
+    const memsim::TieredMachine& machine,
+    std::optional<std::uint64_t> expected_suppressed)
+{
+    const auto& totals = machine.totals();
+    if (!machine.faults_enabled()) {
+        if (totals.failed_pinned != 0 || totals.failed_transient != 0 ||
+            totals.failed_contended != 0 ||
+            totals.aborted_migration_ns != 0) {
+            std::ostringstream os;
+            os << "fault-free machine recorded injected failures (pinned="
+               << totals.failed_pinned << " transient="
+               << totals.failed_transient << " contended="
+               << totals.failed_contended << " aborted_ns="
+               << totals.aborted_migration_ns << ")";
+            violate(Invariant::kFaultAccounting, os.str());
+        }
+        return;
+    }
+    const memsim::FaultInjector& faults = *machine.fault_injector();
+    if (totals.failed_transient != faults.transient_aborts()) {
+        std::ostringstream os;
+        os << "machine recorded " << totals.failed_transient
+           << " transient aborts but the injector granted "
+           << faults.transient_aborts();
+        violate(Invariant::kFaultAccounting, os.str());
+    }
+    if (totals.failed_contended < faults.contended_hits()) {
+        std::ostringstream os;
+        os << "machine recorded " << totals.failed_contended
+           << " contended failures, fewer than the injector's "
+           << faults.contended_hits() << " contended draws";
+        violate(Invariant::kFaultAccounting, os.str());
+    }
+    if (totals.failed_pinned > 0 && faults.config().pinned_fraction <= 0.0) {
+        std::ostringstream os;
+        os << "machine recorded " << totals.failed_pinned
+           << " pinned failures but no pages are pinned";
+        violate(Invariant::kFaultAccounting, os.str());
+    }
+    if (totals.aborted_migration_ns > 0 && totals.failed_transient == 0) {
+        std::ostringstream os;
+        os << "machine charged " << totals.aborted_migration_ns
+           << " ns of aborted copies without a transient abort";
+        violate(Invariant::kFaultAccounting, os.str());
+    }
+    if (expected_suppressed &&
+        *expected_suppressed != faults.suppressed_samples()) {
+        std::ostringstream os;
+        os << "engine counted " << *expected_suppressed
+           << " suppressed samples but the injector suppressed "
+           << faults.suppressed_samples();
+        violate(Invariant::kFaultAccounting, os.str());
+    }
+}
+
+void
+InvariantChecker::check_qtable(const rl::QTable& table, double bound,
+                               std::string_view label)
+{
+    for (int s = 0; s < table.states(); ++s) {
+        for (int a = 0; a < table.actions(); ++a) {
+            const double q = table.at(s, a);
+            if (!std::isfinite(q) || std::fabs(q) > bound) {
+                std::ostringstream os;
+                os << label << " Q(" << s << ", " << a << ") = " << q
+                   << " outside the reward-implied bound of +-" << bound;
+                violate(Invariant::kQTableValue, os.str());
+            }
+        }
+    }
+}
+
+double
+InvariantChecker::qtable_bound(const core::ArtMemConfig& config)
+{
+    // Rewards are clamped to [-100, 100] before every TD update
+    // (core/artmem.cpp), and both tables start inside the fixpoint
+    // interval (0 everywhere, one primed entry at 1), so the values can
+    // never leave +-R/(1-gamma). 1e-6 absorbs accumulation error.
+    const double gamma = config.agent.gamma;
+    if (!(gamma >= 0.0) || gamma >= 1.0)
+        return std::numeric_limits<double>::infinity();
+    return 100.0 / (1.0 - gamma) + 1e-6;
+}
+
+void
+InvariantChecker::check_artmem(const core::ArtMem& artmem,
+                               const memsim::TieredMachine& machine)
+{
+    check_lru(artmem.lists(), machine);
+    check_ema(artmem.bins());
+    const double bound = qtable_bound(artmem.config());
+    check_qtable(artmem.migration_agent().table(), bound, "migration");
+    check_qtable(artmem.threshold_agent().table(), bound, "threshold");
+}
+
+void
+InvariantChecker::audit(const memsim::TieredMachine& machine,
+                        const policies::Policy& policy,
+                        std::optional<std::uint64_t> expected_suppressed)
+{
+    ++audits_;
+    check_machine(machine);
+    check_fault_accounting(machine, expected_suppressed);
+    if (const auto* artmem =
+            dynamic_cast<const core::ArtMem*>(&policy)) {
+        if (artmem->initialized())
+            check_artmem(*artmem, machine);
+    }
+}
+
+}  // namespace artmem::verify

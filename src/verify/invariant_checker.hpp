@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Compiled-in simulator invariant checker.
+ *
+ * Every figure this repo reproduces is only as trustworthy as the
+ * simulator's internal consistency: if the residency map, the LRU
+ * lists, the EMA histogram, or the Q-tables silently drift apart —
+ * exactly the kind of corruption ARMS warns tiering systems about and
+ * that Nomad observed during aborted transactional migrations — the
+ * benchmark deltas measure the bug, not the policy. The fault-injection
+ * layer (memsim/fault_injector.hpp) deliberately exercises the
+ * aborted/retried migration and PEBS-blackout paths where such drift
+ * would hide.
+ *
+ * InvariantChecker audits, after every decision interval of a run
+ * (sim/engine.cpp) and on demand from tests:
+ *
+ *  - machine residency: per-tier used counts equal a recount of the
+ *    page-flags array, and never exceed tier capacity;
+ *  - LRU structure: each active/inactive list is a well-formed doubly
+ *    linked chain whose walk matches its size and its members' where()
+ *    labels (catching duplicates and cycles), and every linked page is
+ *    resident in the list's tier;
+ *  - EMA histogram mass: per-bin page populations equal a recount from
+ *    the per-page counters, and total mass equals the page space;
+ *  - fault accounting: migration-failure counters reconcile with the
+ *    FaultInjector's own draw bookkeeping, and are zero in fault-free
+ *    runs;
+ *  - Q-tables: every action value is finite and inside the bound
+ *    implied by the clamped reward range and the discount factor.
+ *
+ * A violated invariant throws a typed InvariantViolation carrying the
+ * invariant id and a dump of the offending page/state, so a corruption
+ * is caught at the interval it happens instead of as a benchmark delta.
+ *
+ * The checks are O(pages) and allocation-free after construction; the
+ * engine hook is compiled in only under -DARTMEM_CHECK_INVARIANTS=ON
+ * (the default) and still gated by a runtime flag
+ * (EngineConfig::check_invariants, CLI --check-invariants).
+ */
+#ifndef ARTMEM_VERIFY_INVARIANT_CHECKER_HPP
+#define ARTMEM_VERIFY_INVARIANT_CHECKER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/artmem.hpp"
+#include "lru/lru_lists.hpp"
+#include "memsim/tiered_machine.hpp"
+#include "policies/policy.hpp"
+#include "rl/qtable.hpp"
+#include "stats/ema_bins.hpp"
+
+namespace artmem::verify {
+
+/** Which audited invariant was violated. */
+enum class Invariant : std::uint8_t {
+    kResidencyCount = 0,  ///< used_pages() disagrees with a flag recount.
+    kTierCapacity,        ///< A tier holds more pages than its capacity.
+    kLruStructure,        ///< Broken links, size mismatch, cycle, or dup.
+    kLruResidency,        ///< Linked page unallocated or in wrong tier.
+    kEmaBinMass,          ///< Bin populations disagree with the counters.
+    kFaultAccounting,     ///< Failure counters vs. injector bookkeeping.
+    kQTableValue,         ///< Non-finite or out-of-bound action value.
+};
+
+/** Printable invariant name ("residency_count", ...). */
+std::string_view invariant_name(Invariant invariant);
+
+/**
+ * Thrown when an audit finds an inconsistency. what() carries a dump of
+ * the offending page/state; which() identifies the invariant so tests
+ * can assert the exact failure class.
+ */
+class InvariantViolation : public std::runtime_error
+{
+  public:
+    InvariantViolation(Invariant which, const std::string& detail);
+
+    /** The violated invariant. */
+    Invariant which() const { return which_; }
+
+  private:
+    Invariant which_;
+};
+
+/**
+ * The audit pass. Stateless apart from the audit counter; all check_*
+ * entry points are usable independently (unit tests corrupt one
+ * structure and call one check).
+ */
+class InvariantChecker
+{
+  public:
+    /**
+     * Residency map vs. per-tier counts and capacities: recounts the
+     * allocation flags of every page and compares with used_pages().
+     */
+    static void check_machine(const memsim::TieredMachine& machine);
+
+    /**
+     * LRU list audit against the machine's residency: every list walk
+     * must be consistent (links, sizes, where() labels, no cycles or
+     * duplicates) and every linked page must be allocated and resident
+     * in the tier the list belongs to.
+     */
+    static void check_lru(const lru::LruLists& lists,
+                          const memsim::TieredMachine& machine);
+
+    /**
+     * EMA histogram mass: recomputes each bin's population from the
+     * per-page counters and compares with bin_pages(); total mass must
+     * equal the page space.
+     */
+    static void check_ema(const stats::EmaBins& bins);
+
+    /**
+     * Migration-failure counters vs. FaultInjector bookkeeping. In a
+     * fault-free machine every injected-failure counter must be zero;
+     * with faults installed, transient aborts must match the injector's
+     * draw log exactly, contention failures must be at least the
+     * injector's contended draws (capacity pressure adds more), and
+     * pinned failures require a pinned fraction. @p expected_suppressed,
+     * when provided (the engine's own running count), must equal the
+     * injector's suppressed-sample count.
+     */
+    static void check_fault_accounting(
+        const memsim::TieredMachine& machine,
+        std::optional<std::uint64_t> expected_suppressed = std::nullopt);
+
+    /**
+     * Q-table sanity: every entry finite and |Q| <= @p bound.
+     * @p label names the table in the violation dump.
+     */
+    static void check_qtable(const rl::QTable& table, double bound,
+                             std::string_view label);
+
+    /**
+     * The Q-value bound implied by an ArtMem configuration: rewards are
+     * clamped to [-100, 100] (core/artmem.cpp), so a tabular TD fixpoint
+     * cannot leave [-R/(1-gamma), R/(1-gamma)] once the initial values
+     * are inside it. A small epsilon absorbs floating-point slack.
+     */
+    static double qtable_bound(const core::ArtMemConfig& config);
+
+    /** Audit ArtMem's internal structures (LRU, EMA, both Q-tables). */
+    static void check_artmem(const core::ArtMem& artmem,
+                             const memsim::TieredMachine& machine);
+
+    /**
+     * Full per-interval audit: machine residency + fault accounting
+     * always, ArtMem internals when @p policy is an ArtMem instance.
+     */
+    void audit(const memsim::TieredMachine& machine,
+               const policies::Policy& policy,
+               std::optional<std::uint64_t> expected_suppressed =
+                   std::nullopt);
+
+    /** Audits performed so far. */
+    std::uint64_t audits() const { return audits_; }
+
+  private:
+    std::uint64_t audits_ = 0;
+};
+
+}  // namespace artmem::verify
+
+#endif  // ARTMEM_VERIFY_INVARIANT_CHECKER_HPP

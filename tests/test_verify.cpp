@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Invariant-checker tests: a healthy simulator passes every audit, and
+ * each deliberately seeded corruption triggers exactly the typed
+ * InvariantViolation that names it. The corruption back doors are the
+ * TestPeer friends declared by TieredMachine and EmaBins; they exist
+ * only here.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/artmem.hpp"
+#include "memsim/fault_injector.hpp"
+#include "memsim/tiered_machine.hpp"
+#include "sim/experiment.hpp"
+#include "verify/invariant_checker.hpp"
+
+namespace artmem::memsim {
+
+/** Test-only corruption back door (friend of TieredMachine). */
+struct MachineTestPeer {
+    /** Bump a tier's used-page count without touching the flags. */
+    static void skew_used(TieredMachine& machine, Tier tier, int delta)
+    {
+        auto& used = machine.used_[static_cast<int>(tier)];
+        used = static_cast<std::size_t>(static_cast<long long>(used) + delta);
+    }
+
+    /** Flip a page's residency bit behind the accounting's back. */
+    static void flip_tier_bit(TieredMachine& machine, PageId page)
+    {
+        machine.flags_[page] ^= TieredMachine::kTierBit;
+    }
+
+    /** Force a tier's used count above its capacity (flags in sync). */
+    static void overfill(TieredMachine& machine, Tier tier)
+    {
+        const std::size_t cap = machine.capacity_pages(tier);
+        const std::size_t used = machine.used_pages(tier);
+        // Mark additional unallocated pages resident in @p tier until
+        // the count exceeds capacity.
+        std::size_t added = 0;
+        for (PageId page = 0;
+             page < machine.page_count() && used + added <= cap; ++page) {
+            if (machine.is_allocated(page))
+                continue;
+            machine.flags_[page] = static_cast<std::uint8_t>(
+                TieredMachine::kAllocatedBit |
+                (tier == Tier::kSlow ? TieredMachine::kTierBit : 0));
+            ++machine.used_[static_cast<int>(tier)];
+            ++added;
+        }
+        ASSERT_GT(machine.used_pages(tier), cap);
+    }
+};
+
+}  // namespace artmem::memsim
+
+namespace artmem::stats {
+
+/** Test-only corruption back door (friend of EmaBins). */
+struct EmaBinsTestPeer {
+    /** Move one page of recorded mass between bins. */
+    static void shift_mass(EmaBins& bins, int from, int to)
+    {
+        --bins.bins_[from];
+        ++bins.bins_[to];
+    }
+
+    /** Bump a page's counter without rebinning it. */
+    static void skew_count(EmaBins& bins, PageId page, std::uint32_t value)
+    {
+        bins.counts_[page] = value;
+    }
+};
+
+}  // namespace artmem::stats
+
+namespace artmem::verify {
+namespace {
+
+using memsim::MachineConfig;
+using memsim::MachineTestPeer;
+using memsim::Tier;
+using memsim::TieredMachine;
+using stats::EmaBinsTestPeer;
+
+MachineConfig
+small_machine_config()
+{
+    MachineConfig config;
+    config.page_size = 1ull << 20;
+    config.tiers[0].capacity = 16ull << 20;   // 16 fast pages
+    config.tiers[1].capacity = 64ull << 20;   // 64 slow pages
+    config.address_space = 48ull << 20;       // 48 pages total
+    return config;
+}
+
+TEST(InvariantNames, AreStable)
+{
+    EXPECT_EQ(invariant_name(Invariant::kResidencyCount), "residency_count");
+    EXPECT_EQ(invariant_name(Invariant::kTierCapacity), "tier_capacity");
+    EXPECT_EQ(invariant_name(Invariant::kLruStructure), "lru_structure");
+    EXPECT_EQ(invariant_name(Invariant::kLruResidency), "lru_residency");
+    EXPECT_EQ(invariant_name(Invariant::kEmaBinMass), "ema_bin_mass");
+    EXPECT_EQ(invariant_name(Invariant::kFaultAccounting),
+              "fault_accounting");
+    EXPECT_EQ(invariant_name(Invariant::kQTableValue), "qtable_value");
+}
+
+TEST(CheckMachine, HealthyMachinePasses)
+{
+    TieredMachine machine(small_machine_config());
+    machine.prefault_range(0, 40);
+    for (PageId p = 0; p < 40; ++p)
+        machine.access(p);
+    EXPECT_NO_THROW(InvariantChecker::check_machine(machine));
+}
+
+TEST(CheckMachine, SkewedUsedCountFires)
+{
+    TieredMachine machine(small_machine_config());
+    machine.prefault_range(0, 40);
+    MachineTestPeer::skew_used(machine, Tier::kFast, -1);
+    try {
+        InvariantChecker::check_machine(machine);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& violation) {
+        EXPECT_EQ(violation.which(), Invariant::kResidencyCount);
+        EXPECT_NE(std::string(violation.what()).find("residency_count"),
+                  std::string::npos);
+    }
+}
+
+TEST(CheckMachine, FlippedTierBitFires)
+{
+    TieredMachine machine(small_machine_config());
+    machine.prefault_range(0, 40);
+    // Page 0 was allocated fast; silently relocate it to the slow tier.
+    MachineTestPeer::flip_tier_bit(machine, 0);
+    EXPECT_THROW(InvariantChecker::check_machine(machine),
+                 InvariantViolation);
+}
+
+TEST(CheckMachine, OverfilledTierFires)
+{
+    TieredMachine machine(small_machine_config());
+    machine.prefault_range(0, 20);
+    MachineTestPeer::overfill(machine, Tier::kFast);
+    try {
+        InvariantChecker::check_machine(machine);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& violation) {
+        EXPECT_EQ(violation.which(), Invariant::kTierCapacity);
+    }
+}
+
+class CheckLru : public ::testing::Test
+{
+  protected:
+    CheckLru() : machine_(small_machine_config()), lists_(48)
+    {
+        machine_.prefault_range(0, 48);  // 16 fast + 32 slow
+    }
+
+    TieredMachine machine_;
+    lru::LruLists lists_;
+};
+
+TEST_F(CheckLru, HealthyListsPass)
+{
+    for (PageId p = 0; p < 48; ++p)
+        lists_.touch(p, machine_.tier_of(p));
+    for (PageId p = 0; p < 8; ++p) {
+        lists_.set_referenced(p);
+        lists_.touch(p, machine_.tier_of(p));  // activate
+    }
+    EXPECT_NO_THROW(InvariantChecker::check_lru(lists_, machine_));
+}
+
+TEST_F(CheckLru, WrongTierListFires)
+{
+    // Page 0 resides in the fast tier; link it on a slow list.
+    lists_.insert_head(0, lru::ListId::kSlowActive);
+    try {
+        InvariantChecker::check_lru(lists_, machine_);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& violation) {
+        EXPECT_EQ(violation.which(), Invariant::kLruResidency);
+    }
+}
+
+TEST_F(CheckLru, UnallocatedLinkedPageFires)
+{
+    TieredMachine fresh(small_machine_config());  // nothing allocated
+    lists_.insert_head(3, lru::ListId::kFastInactive);
+    try {
+        InvariantChecker::check_lru(lists_, fresh);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& violation) {
+        EXPECT_EQ(violation.which(), Invariant::kLruResidency);
+    }
+}
+
+TEST_F(CheckLru, PageSpaceMismatchFires)
+{
+    lru::LruLists wrong(32);
+    try {
+        InvariantChecker::check_lru(wrong, machine_);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& violation) {
+        EXPECT_EQ(violation.which(), Invariant::kLruStructure);
+    }
+}
+
+TEST(CheckEma, HealthyBinsPass)
+{
+    stats::EmaBins bins(64);
+    for (int i = 0; i < 100; ++i)
+        bins.record(static_cast<PageId>(i % 8));
+    bins.cool();
+    EXPECT_NO_THROW(InvariantChecker::check_ema(bins));
+}
+
+TEST(CheckEma, ShiftedBinMassFires)
+{
+    stats::EmaBins bins(64);
+    for (int i = 0; i < 100; ++i)
+        bins.record(static_cast<PageId>(i % 8));
+    EmaBinsTestPeer::shift_mass(bins, 0, 3);
+    try {
+        InvariantChecker::check_ema(bins);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& violation) {
+        EXPECT_EQ(violation.which(), Invariant::kEmaBinMass);
+    }
+}
+
+TEST(CheckEma, SkewedPageCounterFires)
+{
+    stats::EmaBins bins(64);
+    for (int i = 0; i < 100; ++i)
+        bins.record(static_cast<PageId>(i % 8));
+    // Rewrite one page's counter so it maps to a different bin than the
+    // one tracking it.
+    EmaBinsTestPeer::skew_count(bins, 0, 1u << 10);
+    EXPECT_THROW(InvariantChecker::check_ema(bins), InvariantViolation);
+}
+
+TEST(CheckQTable, NonFiniteEntryFires)
+{
+    rl::QTable table(4, 3, 0.0);
+    table.at(2, 1) = std::nan("");
+    try {
+        InvariantChecker::check_qtable(table, 100.0, "test");
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& violation) {
+        EXPECT_EQ(violation.which(), Invariant::kQTableValue);
+        EXPECT_NE(std::string(violation.what()).find("Q(2, 1)"),
+                  std::string::npos);
+    }
+}
+
+TEST(CheckQTable, OutOfBoundEntryFires)
+{
+    rl::QTable table(4, 3, 0.0);
+    table.at(0, 0) = 1e9;
+    EXPECT_THROW(InvariantChecker::check_qtable(table, 200.0, "test"),
+                 InvariantViolation);
+    table.at(0, 0) = -1e9;
+    EXPECT_THROW(InvariantChecker::check_qtable(table, 200.0, "test"),
+                 InvariantViolation);
+}
+
+TEST(CheckQTable, BoundFollowsGamma)
+{
+    core::ArtMemConfig config;
+    const double bound = InvariantChecker::qtable_bound(config);
+    EXPECT_TRUE(std::isfinite(bound));
+    EXPECT_NEAR(bound, 100.0 / (1.0 - config.agent.gamma), 1e-3);
+    config.agent.gamma = 1.0;  // undiscounted: no finite fixpoint bound
+    EXPECT_TRUE(std::isinf(InvariantChecker::qtable_bound(config)));
+}
+
+TEST(CheckFaultAccounting, FaultFreeWithCleanCountersPasses)
+{
+    TieredMachine machine(small_machine_config());
+    machine.prefault_range(0, 40);
+    EXPECT_NO_THROW(InvariantChecker::check_fault_accounting(machine));
+}
+
+TEST(CheckFaultAccounting, TransientMismatchFires)
+{
+    auto fc = memsim::make_fault_scenario("migration", 7);
+    TieredMachine machine(small_machine_config());
+    machine.prefault_range(0, 48);
+    machine.install_faults(fc);
+    // Consume an abort draw outside a migration: the injector now
+    // claims more granted aborts than the machine recorded.
+    std::uint64_t hits = 0;
+    while (machine.fault_injector()->transient_aborts() == 0 &&
+           hits < 10000) {
+        machine.fault_injector()->migration_transient_abort();
+        ++hits;
+    }
+    ASSERT_GT(machine.fault_injector()->transient_aborts(), 0u);
+    try {
+        InvariantChecker::check_fault_accounting(machine);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& violation) {
+        EXPECT_EQ(violation.which(), Invariant::kFaultAccounting);
+    }
+}
+
+TEST(CheckFaultAccounting, SuppressedSampleMismatchFires)
+{
+    auto fc = memsim::make_fault_scenario("blackout", 3);
+    TieredMachine machine(small_machine_config());
+    machine.install_faults(fc);
+    EXPECT_NO_THROW(InvariantChecker::check_fault_accounting(machine, 0));
+    EXPECT_THROW(InvariantChecker::check_fault_accounting(machine, 5),
+                 InvariantViolation);
+}
+
+TEST(Audit, CountsAuditsAndChecksArtMemInternals)
+{
+    TieredMachine machine(small_machine_config());
+    machine.prefault_range(0, 48);
+    core::ArtMem policy;
+    policy.init(machine);
+    InvariantChecker checker;
+    checker.audit(machine, policy);
+    checker.audit(machine, policy);
+    EXPECT_EQ(checker.audits(), 2u);
+}
+
+TEST(Audit, DetectsArtMemQTableCorruption)
+{
+    TieredMachine machine(small_machine_config());
+    machine.prefault_range(0, 48);
+    core::ArtMem policy;
+    policy.init(machine);
+    policy.migration_agent().table().at(0, 0) =
+        std::numeric_limits<double>::infinity();
+    InvariantChecker checker;
+    EXPECT_THROW(checker.audit(machine, policy), InvariantViolation);
+}
+
+// --- integration: full fault-scenario runs under per-interval audit ----
+
+class InvariantCheckedRun
+    : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(InvariantCheckedRun, FaultScenarioStaysConsistent)
+{
+    sim::RunSpec spec;
+    spec.workload = "s2";
+    spec.policy = "artmem";
+    spec.ratio = {1, 4};
+    spec.accesses = 400000;
+    spec.engine.faults = memsim::make_fault_scenario(GetParam(), 1);
+    spec.engine.check_invariants = true;
+    const auto result = sim::run_experiment(spec);
+#if ARTMEM_CHECK_INVARIANTS
+    EXPECT_GT(result.invariant_audits, 0u);
+#endif
+    EXPECT_GT(result.accesses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, InvariantCheckedRun,
+    ::testing::Values("none", "migration", "degrade", "blackout",
+                      "pressure"),
+    [](const auto& suite_info) { return std::string(suite_info.param); });
+
+}  // namespace
+}  // namespace artmem::verify

@@ -55,6 +55,8 @@ parse_spec(const CliArgs& args)
     spec.accesses =
         static_cast<std::uint64_t>(args.get_int("accesses", 6000000));
     spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    spec.engine.check_invariants =
+        args.get_bool("check-invariants", false);
 
     // Fault model: a built-in scenario or a fault.* config file.
     const std::string scenario = args.get_string("fault-scenario", "");
@@ -249,7 +251,9 @@ main(int argc, char** argv)
                "flags: --workload= --policy= --ratio=F:S --accesses=N "
                "--seed=N --timeline --qtables= --out= --trace= --csv\n"
                "       --fault-scenario=<none|migration|degrade|blackout|"
-               "pressure> --fault-config=<file> --fault-seed=N\n";
+               "pressure> --fault-config=<file> --fault-seed=N\n"
+               "       --check-invariants (audit simulator state every "
+               "interval; see DESIGN.md section 6)\n";
         return 1;
     }
     const std::string& command = args.positional()[0];
