@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# The full local CI gauntlet, in the order .github/workflows/ci.yml runs
+# it remotely:
+#
+#   1. default build + ctest (tier-1 gate),
+#   2. strict build: ARTMEM_STRICT=ON (-Wpedantic -Wconversion -Wshadow
+#      -Wold-style-cast -Werror) must compile every target warning-free,
+#   3. lint: scripts/check_lint.sh (clang-tidy when available + custom
+#      nondeterminism lint),
+#   4. invariant-checked fault sweep: every built-in --fault-scenario
+#      under --check-invariants must finish with zero violations,
+#   5. (optional, slow) sanitizers: pass --sanitizers to append
+#      scripts/check_sanitizers.sh.
+#
+#   scripts/ci.sh [--sanitizers]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 2)"
+run_sanitizers=0
+for arg in "$@"; do
+    case "${arg}" in
+    --sanitizers) run_sanitizers=1 ;;
+    *)
+        echo "usage: scripts/ci.sh [--sanitizers]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "==> [1/4] default build + tests"
+cmake -B build -S . > /dev/null
+cmake --build build -j "${jobs}"
+ctest --test-dir build --output-on-failure -j "${jobs}"
+
+echo "==> [2/4] strict build (ARTMEM_STRICT=ON)"
+cmake -B build-strict -S . -DARTMEM_STRICT=ON > /dev/null
+cmake --build build-strict -j "${jobs}"
+
+echo "==> [3/4] lint"
+scripts/check_lint.sh build
+
+echo "==> [4/4] invariant-checked fault sweep"
+for scenario in none migration degrade blackout pressure; do
+    echo "--- scenario ${scenario}"
+    ./build/tools/artmem run --workload=s2 --policy=artmem --ratio=1:4 \
+        --accesses=1000000 --fault-scenario="${scenario}" \
+        --check-invariants
+done
+
+if [[ "${run_sanitizers}" -eq 1 ]]; then
+    echo "==> [extra] sanitizers"
+    scripts/check_sanitizers.sh
+fi
+
+echo "==> CI OK"
