@@ -1,7 +1,9 @@
 /**
  * @file
  * Shared plumbing for the figure/table bench harnesses: common CLI
- * flags (--accesses, --seed, --quick, --csv) and run helpers.
+ * flags (--accesses, --seed, --quick, --csv, --json, --jobs), the
+ * sweep-runner construction, result emission, and the normalization
+ * helpers the figures share.
  */
 #ifndef ARTMEM_BENCH_COMMON_HPP
 #define ARTMEM_BENCH_COMMON_HPP
@@ -13,17 +15,29 @@
 #include <string_view>
 
 #include "sim/experiment.hpp"
+#include "sweep/result_sink.hpp"
+#include "sweep/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 
 namespace artmem::bench {
 
-/** Flags every harness accepts. */
+/**
+ * Flags every harness accepts.
+ *
+ * --quick divides the harness's *default* access count by 4 for a fast
+ * smoke run; an explicit --accesses=N is always taken verbatim, with
+ * or without --quick (so --quick cannot silently shrink a count the
+ * user asked for).
+ */
 struct BenchOptions {
     std::uint64_t accesses = 8000000;
     std::uint64_t seed = 42;
     bool csv = false;
+    bool json = false;
+    /** Sweep worker threads (--jobs); 0 = one per hardware thread. */
+    unsigned jobs = 0;
 
     /**
      * Parse the shared flag set; @p extra_flags names any harness-
@@ -36,8 +50,8 @@ struct BenchOptions {
           std::initializer_list<std::string_view> extra_flags = {})
     {
         const auto args = CliArgs::parse(argc, argv);
-        static constexpr std::string_view kShared[] = {"accesses", "seed",
-                                                       "quick", "csv"};
+        static constexpr std::string_view kShared[] = {
+            "accesses", "seed", "quick", "csv", "json", "jobs"};
         for (const auto& name : args.flag_names()) {
             const bool known =
                 std::find(std::begin(kShared), std::end(kShared), name) !=
@@ -46,29 +60,46 @@ struct BenchOptions {
                     extra_flags.end();
             if (!known)
                 fatal("unknown flag --", name, " (known flags: --accesses ",
-                      "--seed --quick --csv and harness-specific ones; see ",
-                      "the file header of this bench)");
+                      "--seed --quick --csv --json --jobs and harness-",
+                      "specific ones; see the file header of this bench)");
         }
         BenchOptions opt;
-        opt.accesses = static_cast<std::uint64_t>(
-            args.get_int("accesses", static_cast<long long>(
-                                         default_accesses)));
-        if (args.get_bool("quick", false))
-            opt.accesses /= 4;
+        if (args.has("accesses")) {
+            opt.accesses = static_cast<std::uint64_t>(args.get_int(
+                "accesses", static_cast<long long>(default_accesses)));
+        } else {
+            opt.accesses = default_accesses;
+            if (args.get_bool("quick", false))
+                opt.accesses /= 4;
+        }
         opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
         opt.csv = args.get_bool("csv", false);
+        opt.json = args.get_bool("json", false);
+        opt.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
         return opt;
+    }
+
+    /** Output format selected by --csv / --json (table otherwise). */
+    sweep::Format format() const
+    {
+        if (json)
+            return sweep::Format::kJson;
+        return csv ? sweep::Format::kCsv : sweep::Format::kTable;
     }
 };
 
-/** Print a finished table in the selected format. */
+/** Print a finished result sink in the selected format. */
 inline void
-emit(Table& table, const BenchOptions& opt)
+emit(sweep::ResultSink& sink, const BenchOptions& opt)
 {
-    if (opt.csv)
-        table.print_csv(std::cout);
-    else
-        table.print(std::cout);
+    sink.emit(std::cout, opt.format());
+}
+
+/** Build the sweep runner configured by --jobs. */
+inline sweep::SweepRunner
+make_runner(const BenchOptions& opt)
+{
+    return sweep::SweepRunner({.jobs = opt.jobs, .progress = true});
 }
 
 /** Build a RunSpec with the harness-wide defaults applied. */
@@ -83,6 +114,32 @@ make_spec(const BenchOptions& opt, std::string workload, std::string policy,
     spec.accesses = opt.accesses;
     spec.seed = opt.seed;
     return spec;
+}
+
+/**
+ * Runtime of @p r relative to @p base — the figures' "normalized to
+ * AutoNUMA at 1:16" / "normalized to static" convention (lower is
+ * better).
+ */
+inline double
+normalized_runtime(const sim::RunResult& r, const sim::RunResult& base)
+{
+    return static_cast<double>(r.runtime_ns) /
+           static_cast<double>(base.runtime_ns);
+}
+
+/**
+ * Append the Figure 7 / Table 3 baseline job — AutoNUMA at 1:16 on
+ * @p workload — to @p spec and return its index, so every harness that
+ * normalizes to that baseline computes it once per workload and reuses
+ * the result.
+ */
+inline std::size_t
+add_autonuma_baseline_job(sweep::SweepSpec& spec, const BenchOptions& opt,
+                          const std::string& workload)
+{
+    return spec.add(make_spec(opt, workload, "autonuma", {1, 16}),
+                    {workload, "autonuma", "1:16"});
 }
 
 }  // namespace artmem::bench

@@ -20,7 +20,13 @@ main(int argc, char** argv)
                                   {1, 1});
     spec.engine.record_timeline = true;
 
-    const auto r = sim::run_experiment(spec);
+    // A single job, but routed through the sweep runner so this utility
+    // exercises the same dispatch path as every figure harness.
+    sweep::SweepSpec sweepspec;
+    sweepspec.add(std::move(spec));
+    const auto runs = make_runner(opt).run(sweepspec);
+    const auto& r = runs[0];
+
     std::cout << "runtime_ms=" << r.seconds() * 1e3
               << " ratio=" << r.fast_ratio
               << " migrated_pages=" << r.totals.migrated_pages()
@@ -28,8 +34,8 @@ main(int argc, char** argv)
               << " pebs=" << r.pebs_recorded << "/" << r.pebs_dropped
               << "\n";
     if (args.get_bool("timeline", false)) {
-        Table t({"t_ms", "accesses", "ratio", "promoted", "demoted",
-                 "exchanges"});
+        sweep::ResultSink t({"t_ms", "accesses", "ratio", "promoted",
+                             "demoted", "exchanges"});
         for (const auto& iv : r.timeline) {
             t.row()
                 .cell(static_cast<double>(iv.end_time) * 1e-6, 1)
@@ -39,7 +45,7 @@ main(int argc, char** argv)
                 .cell(iv.demoted)
                 .cell(iv.exchanges);
         }
-        t.print(std::cout);
+        t.emit(std::cout, sweep::Format::kTable);
     }
     return 0;
 }

@@ -39,19 +39,34 @@ main(int argc, char** argv)
               << " seed=" << opt.seed << " fault-seed=" << fault_seed
               << "\n";
 
+    // Every scenario x policy cell is independent; the "vs clean"
+    // column is derived after the sweep from the "none" scenario's
+    // results, so parallel execution cannot reorder the arithmetic.
+    sweep::SweepSpec sweepspec;
+    for (const auto scenario : memsim::fault_scenario_names()) {
+        for (const auto policy : sim::policy_names()) {
+            auto spec =
+                make_spec(opt, workload, std::string(policy), {1, 4});
+            spec.engine.faults =
+                memsim::make_fault_scenario(scenario, fault_seed);
+            sweepspec.add(std::move(spec),
+                          {std::string(scenario), std::string(policy)});
+        }
+    }
+    const auto runs = make_runner(opt).run(sweepspec);
+
     // Fault-free reference runtime per policy, for the slowdown column.
     std::map<std::string, std::uint64_t> clean_runtime;
 
+    std::size_t job = 0;
     for (const auto scenario : memsim::fault_scenario_names()) {
         std::cout << "\nScenario: " << scenario << "\n";
-        Table table({"policy", "runtime (ms)", "vs clean", "fast ratio",
-                     "migrated", "pinned", "transient", "contended",
-                     "no_slot", "pebs lost"});
+        sweep::ResultSink table({"policy", "runtime (ms)", "vs clean",
+                                 "fast ratio", "migrated", "pinned",
+                                 "transient", "contended", "no_slot",
+                                 "pebs lost"});
         for (const auto policy : sim::policy_names()) {
-            auto spec = make_spec(opt, workload, std::string(policy), {1, 4});
-            spec.engine.faults =
-                memsim::make_fault_scenario(scenario, fault_seed);
-            const auto r = sim::run_experiment(spec);
+            const auto& r = runs[job++];
             if (scenario == "none")
                 clean_runtime[std::string(policy)] = r.runtime_ns;
             const double clean = static_cast<double>(

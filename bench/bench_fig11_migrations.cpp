@@ -18,18 +18,26 @@ main(int argc, char** argv)
     const std::vector<std::string> systems = {
         "memtis",     "autotiering", "tpp",      "autonuma",
         "multiclock", "nimble",      "tiering08", "artmem"};
+    const std::vector<std::string> apps = {"cc", "dlrm"};
+
+    sweep::SweepSpec sweepspec;
+    for (const auto& system : systems)
+        for (const auto& workload : apps)
+            sweepspec.add(make_spec(opt, workload, system, {1, 1}),
+                          {workload, system, "1:1"});
+    const auto runs = make_runner(opt).run(sweepspec);
 
     std::cout << "Figure 11: page migration volume (1:1 ratio)\n"
               << "accesses=" << opt.accesses << " seed=" << opt.seed
               << "\n\n";
 
-    Table table({"system", "cc pages", "cc GiB", "cc cpu%", "dlrm pages",
-                 "dlrm GiB", "dlrm cpu%"});
+    sweep::ResultSink table({"system", "cc pages", "cc GiB", "cc cpu%",
+                             "dlrm pages", "dlrm GiB", "dlrm cpu%"});
+    std::size_t job = 0;
     for (const auto& system : systems) {
         auto& row = table.row().cell(system);
-        for (const std::string workload : {"cc", "dlrm"}) {
-            auto spec = make_spec(opt, workload, system, {1, 1});
-            const auto r = sim::run_experiment(spec);
+        for (std::size_t w = 0; w < apps.size(); ++w) {
+            const auto& r = runs[job++];
             row.cell(r.totals.migrated_pages())
                 .cell(r.migrated_gib(2ull << 20), 2)
                 .cell(100.0 * static_cast<double>(r.totals.overhead_ns) /

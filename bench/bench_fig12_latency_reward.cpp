@@ -18,21 +18,23 @@ main(int argc, char** argv)
                  "latency-based RL reward (XSBench, 1:2)\naccesses="
               << opt.accesses << " seed=" << opt.seed << "\n\n";
 
-    sim::RunResult results[2];
     const char* labels[2] = {"ratio-reward", "latency-reward"};
+    sweep::SweepSpec sweepspec;
     for (int mode = 0; mode < 2; ++mode) {
         core::ArtMemConfig cfg;
         cfg.seed = opt.seed;
         cfg.reward_mode = mode == 0 ? core::RewardMode::kAccessRatio
                                     : core::RewardMode::kLatency;
-        auto policy = sim::make_artmem(cfg);
         auto spec = make_spec(opt, "xsbench", "artmem", {1, 2});
         spec.engine.record_timeline = true;
-        results[mode] = sim::run_experiment(spec, *policy);
+        sweepspec.add_with_policy(
+            std::move(spec), {"xsbench", labels[mode], "1:2"},
+            [cfg] { return sim::make_artmem(cfg); });
     }
+    const auto results = make_runner(opt).run(sweepspec);
 
-    Table table({"t (ms)", "ratio-reward migrations",
-                 "latency-reward migrations"});
+    sweep::ResultSink table({"t (ms)", "ratio-reward migrations",
+                             "latency-reward migrations"});
     const std::size_t rows =
         std::min(results[0].timeline.size(), results[1].timeline.size());
     for (std::size_t i = 0; i < rows; i += 4) {

@@ -6,6 +6,9 @@
  * then evaluated by running the eval workload starting from the train
  * workload's tables. Cells show % runtime degradation relative to
  * self-training. Paper: only 7 of 25 combinations degrade > 10%.
+ *
+ * Two chained sweeps: the training phase must finish before the
+ * cross-evaluation jobs (which consume the captured tables) start.
  */
 #include <sstream>
 
@@ -26,39 +29,60 @@ main(int argc, char** argv)
               << "accesses=" << opt.accesses << " seed=" << opt.seed
               << "\n\n";
 
-    // Phase 1: train per app, capture converged Q-tables.
-    std::vector<std::string> tables;
-    for (const auto& app : apps) {
-        core::ArtMemConfig cfg;
-        cfg.seed = opt.seed;
-        auto policy = sim::make_artmem(cfg);
-        auto spec = make_spec(opt, app, "artmem", {1, 2});
-        sim::run_experiment(spec, *policy);
-        std::ostringstream os;
-        policy->save_qtables(os);
-        tables.push_back(os.str());
-    }
+    auto runner = make_runner(opt);
 
-    // Phase 2: evaluate every (train, eval) pair.
+    // Phase 1: train per app, capture converged Q-tables. Each job
+    // writes only its own slot of `tables`, so the sweep stays
+    // data-race-free.
+    std::vector<std::string> tables(apps.size());
+    sweep::SweepSpec train_spec;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        auto spec = make_spec(opt, apps[i], "artmem", {1, 2});
+        train_spec.add_run(
+            {apps[i], "train"}, [&tables, i, spec, &opt] {
+                core::ArtMemConfig cfg;
+                cfg.seed = opt.seed;
+                auto policy = sim::make_artmem(cfg);
+                const auto r = sim::run_experiment(spec, *policy);
+                std::ostringstream os;
+                policy->save_qtables(os);
+                tables[i] = os.str();
+                return r;
+            });
+    }
+    runner.run(train_spec);
+
+    // Phase 2: evaluate every (train, eval) pair from the saved tables.
+    sweep::SweepSpec eval_spec;
+    for (const auto& train : apps) {
+        for (const auto& eval : apps) {
+            const std::size_t train_idx =
+                static_cast<std::size_t>(&train - apps.data());
+            auto spec = make_spec(opt, eval, "artmem", {1, 2});
+            eval_spec.add_run(
+                {train, eval}, [&tables, train_idx, spec, &opt] {
+                    core::ArtMemConfig cfg;
+                    cfg.seed = opt.seed;
+                    auto policy = sim::make_artmem(cfg);
+                    policy->set_pretrained_qtables(tables[train_idx]);
+                    return sim::run_experiment(spec, *policy);
+                });
+        }
+    }
+    const auto evals = runner.run(eval_spec);
+
     std::vector<std::string> headers = {"train \\ eval"};
     for (const auto& app : apps)
         headers.push_back(app);
-    Table table(std::move(headers));
+    sweep::ResultSink table(std::move(headers));
 
     std::vector<double> self(apps.size(), 0.0);
     std::vector<std::vector<double>> runtime(
         apps.size(), std::vector<double>(apps.size(), 0.0));
-    for (std::size_t train = 0; train < apps.size(); ++train) {
-        for (std::size_t eval = 0; eval < apps.size(); ++eval) {
-            core::ArtMemConfig cfg;
-            cfg.seed = opt.seed;
-            auto policy = sim::make_artmem(cfg);
-            policy->set_pretrained_qtables(tables[train]);
-            auto spec = make_spec(opt, apps[eval], "artmem", {1, 2});
+    for (std::size_t train = 0; train < apps.size(); ++train)
+        for (std::size_t eval = 0; eval < apps.size(); ++eval)
             runtime[train][eval] = static_cast<double>(
-                sim::run_experiment(spec, *policy).runtime_ns);
-        }
-    }
+                evals[train * apps.size() + eval].runtime_ns);
     for (std::size_t eval = 0; eval < apps.size(); ++eval)
         self[eval] = runtime[eval][eval];
 

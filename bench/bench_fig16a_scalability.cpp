@@ -27,33 +27,44 @@ main(int argc, char** argv)
               << "accesses=" << opt.accesses << " seed=" << opt.seed
               << "\n\n";
 
-    std::vector<std::string> headers = {"footprint"};
-    for (const auto& s : systems)
-        headers.push_back(s);
-    Table table(std::move(headers));
-
+    // Custom machines (fixed fast tier, scaled footprint), so each job
+    // carries its own run lambda instead of a RunSpec.
+    sweep::SweepSpec sweepspec;
     for (const Bytes footprint : footprints) {
         auto params = workloads::GraphWorkload::cc(opt.accesses);
         params.footprint = footprint;
-
-        auto run = [&](const std::string& system) {
-            workloads::GraphWorkload gen(params, kPage, opt.seed);
-            auto mc = sim::make_machine_config(footprint, kFast, kPage);
-            memsim::TieredMachine machine(mc);
-            auto policy = sim::make_policy(system, opt.seed);
-            sim::EngineConfig engine;
-            return sim::run_simulation(gen, *policy, machine, engine);
+        auto add_job = [&](const std::string& system) {
+            sweepspec.add_run(
+                {std::to_string(footprint >> 30) + " GiB", system},
+                [params, footprint, system, &opt] {
+                    workloads::GraphWorkload gen(params, kPage, opt.seed);
+                    auto mc =
+                        sim::make_machine_config(footprint, kFast, kPage);
+                    memsim::TieredMachine machine(mc);
+                    auto policy = sim::make_policy(system, opt.seed);
+                    sim::EngineConfig engine;
+                    return sim::run_simulation(gen, *policy, machine,
+                                               engine);
+                });
         };
+        add_job("static");
+        for (const auto& system : systems)
+            add_job(system);
+    }
+    const auto runs = make_runner(opt).run(sweepspec);
 
-        const auto base = run("static");
+    std::vector<std::string> headers = {"footprint"};
+    for (const auto& s : systems)
+        headers.push_back(s);
+    sweep::ResultSink table(std::move(headers));
+
+    std::size_t job = 0;
+    for (const Bytes footprint : footprints) {
+        const auto& base = runs[job++];
         auto& row = table.row().cell(
             std::to_string(footprint >> 30) + " GiB");
-        for (const auto& system : systems) {
-            const auto r = run(system);
-            row.cell(static_cast<double>(r.runtime_ns) /
-                         static_cast<double>(base.runtime_ns),
-                     3);
-        }
+        for (std::size_t s = 0; s < systems.size(); ++s)
+            row.cell(normalized_runtime(runs[job++], base), 3);
     }
     emit(table, opt);
     std::cout << "\nExpected: ArtMem stays below 1.0 at every footprint "

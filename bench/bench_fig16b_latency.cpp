@@ -31,7 +31,7 @@ main(int argc, char** argv)
         {"remote PM (410ns)", 410, 18.0},
     };
     const std::vector<std::string> systems = {
-        "memtis", "autotiering", "tpp", "autonuma",
+        "memtis", "autotiering", "tpp",      "autonuma",
         "nimble", "tiering08",   "artmem"};
 
     std::cout << "Figure 16b: sensitivity to slow-tier latency (SSSP, "
@@ -40,32 +40,41 @@ main(int argc, char** argv)
               << "accesses=" << opt.accesses << " seed=" << opt.seed
               << "\n\n";
 
-    auto run = [&](const std::string& system, const SlowTier& slow) {
-        auto gen = workloads::make_workload("sssp", kPage, opt.accesses,
-                                            opt.seed);
-        auto mc = sim::make_machine_config(gen->footprint(), kFast, kPage);
-        mc.tiers[1].load_latency_ns = slow.latency_ns;
-        mc.tiers[1].bandwidth_gbps = slow.bandwidth_gbps;
-        memsim::TieredMachine machine(mc);
-        auto policy = sim::make_policy(system, opt.seed);
-        sim::EngineConfig engine;
-        return sim::run_simulation(*gen, *policy, machine, engine);
+    auto add_job = [&](sweep::SweepSpec& spec, const std::string& system,
+                       const SlowTier& slow) {
+        return spec.add_run(
+            {system, slow.label},
+            [system, slow, &opt] {
+                auto gen = workloads::make_workload("sssp", kPage,
+                                                    opt.accesses, opt.seed);
+                auto mc = sim::make_machine_config(gen->footprint(), kFast,
+                                                   kPage);
+                mc.tiers[1].load_latency_ns = slow.latency_ns;
+                mc.tiers[1].bandwidth_gbps = slow.bandwidth_gbps;
+                memsim::TieredMachine machine(mc);
+                auto policy = sim::make_policy(system, opt.seed);
+                sim::EngineConfig engine;
+                return sim::run_simulation(*gen, *policy, machine, engine);
+            });
     };
 
-    const auto base = run("autonuma", tiers[0]);
+    sweep::SweepSpec sweepspec;
+    const std::size_t base_job = add_job(sweepspec, "autonuma", tiers[0]);
+    for (const auto& system : systems)
+        for (const auto& tier : tiers)
+            add_job(sweepspec, system, tier);
+    const auto runs = make_runner(opt).run(sweepspec);
+    const auto& base = runs[base_job];
 
     std::vector<std::string> headers = {"system"};
     for (const auto& t : tiers)
         headers.push_back(t.label);
-    Table table(std::move(headers));
+    sweep::ResultSink table(std::move(headers));
+    std::size_t job = base_job + 1;
     for (const auto& system : systems) {
         auto& row = table.row().cell(system);
-        for (const auto& tier : tiers) {
-            const auto r = run(system, tier);
-            row.cell(static_cast<double>(r.runtime_ns) /
-                         static_cast<double>(base.runtime_ns),
-                     3);
-        }
+        for (std::size_t t = 0; t < std::size(tiers); ++t)
+            row.cell(normalized_runtime(runs[job++], base), 3);
     }
     emit(table, opt);
     return 0;

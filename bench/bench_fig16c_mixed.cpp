@@ -53,33 +53,47 @@ main(int argc, char** argv)
                  "normalized to static; lower is better)\naccesses="
               << opt.accesses << " seed=" << opt.seed << "\n\n";
 
+    sweep::SweepSpec sweepspec;
+    for (const auto& mix : mixes) {
+        std::string label = mix.names[0];
+        for (std::size_t i = 1; i < mix.names.size(); ++i)
+            label += "+" + mix.names[i];
+        auto add_job = [&](const std::string& system) {
+            sweepspec.add_run(
+                {label, system},
+                [mix, system, &opt] {
+                    auto gen =
+                        make_mix(mix.names, kPage, opt.accesses, opt.seed);
+                    auto mc = sim::make_machine_config(gen->footprint(),
+                                                       mix.dram, kPage);
+                    memsim::TieredMachine machine(mc);
+                    auto policy = sim::make_policy(system, opt.seed);
+                    sim::EngineConfig engine;
+                    return sim::run_simulation(*gen, *policy, machine,
+                                               engine);
+                });
+        };
+        add_job("static");
+        for (const auto& system : systems)
+            add_job(system);
+    }
+    const auto runs = make_runner(opt).run(sweepspec);
+
     std::vector<std::string> headers = {"mix", "dram"};
     for (const auto& s : systems)
         headers.push_back(s);
-    Table table(std::move(headers));
+    sweep::ResultSink table(std::move(headers));
 
+    std::size_t job = 0;
     for (const auto& mix : mixes) {
-        auto run = [&](const std::string& system) {
-            auto gen = make_mix(mix.names, kPage, opt.accesses, opt.seed);
-            auto mc =
-                sim::make_machine_config(gen->footprint(), mix.dram, kPage);
-            memsim::TieredMachine machine(mc);
-            auto policy = sim::make_policy(system, opt.seed);
-            sim::EngineConfig engine;
-            return sim::run_simulation(*gen, *policy, machine, engine);
-        };
-        const auto base = run("static");
+        const auto& base = runs[job++];
         std::string label = mix.names[0];
         for (std::size_t i = 1; i < mix.names.size(); ++i)
             label += "+" + mix.names[i];
         auto& row = table.row().cell(label).cell(
             std::to_string(mix.dram >> 30) + "G");
-        for (const auto& system : systems) {
-            const auto r = run(system);
-            row.cell(static_cast<double>(r.runtime_ns) /
-                         static_cast<double>(base.runtime_ns),
-                     3);
-        }
+        for (std::size_t s = 0; s < systems.size(); ++s)
+            row.cell(normalized_runtime(runs[job++], base), 3);
     }
     emit(table, opt);
     std::cout << "\nExpected: ArtMem lowest (paper: ~11% ahead of the "

@@ -21,30 +21,38 @@ main(int argc, char** argv)
     constexpr Bytes kPage = 2ull << 20;
     constexpr Bytes kFast = 32ull << 30;
 
-    auto run = [&](const std::string& system) {
-        std::vector<std::unique_ptr<workloads::AccessGenerator>> children;
-        children.push_back(workloads::make_workload(
-            "sssp", kPage, opt.accesses / 2, opt.seed));
-        children.push_back(workloads::make_workload(
-            "xsbench", kPage, opt.accesses / 2, opt.seed + 1));
-        workloads::Mixer gen(std::move(children), kPage);
-        auto mc = sim::make_machine_config(gen.footprint(), kFast, kPage);
-        memsim::TieredMachine machine(mc);
-        auto policy = sim::make_policy(system, opt.seed);
-        sim::EngineConfig engine;
-        engine.record_timeline = true;
-        return sim::run_simulation(gen, *policy, machine, engine);
-    };
+    sweep::SweepSpec sweepspec;
+    for (const std::string system : {"artmem", "tpp"}) {
+        sweepspec.add_run(
+            {"sssp+xsbench", system},
+            [system, &opt] {
+                std::vector<std::unique_ptr<workloads::AccessGenerator>>
+                    children;
+                children.push_back(workloads::make_workload(
+                    "sssp", kPage, opt.accesses / 2, opt.seed));
+                children.push_back(workloads::make_workload(
+                    "xsbench", kPage, opt.accesses / 2, opt.seed + 1));
+                workloads::Mixer gen(std::move(children), kPage);
+                auto mc =
+                    sim::make_machine_config(gen.footprint(), kFast, kPage);
+                memsim::TieredMachine machine(mc);
+                auto policy = sim::make_policy(system, opt.seed);
+                sim::EngineConfig engine;
+                engine.record_timeline = true;
+                return sim::run_simulation(gen, *policy, machine, engine);
+            });
+    }
+    const auto runs = make_runner(opt).run(sweepspec);
 
     std::cout << "Figure 17: migrations and DRAM access ratio over time "
                  "(mixed SSSP+XSBench, 32 GiB DRAM)\naccesses="
               << opt.accesses << " seed=" << opt.seed << "\n\n";
 
-    const auto artmem = run("artmem");
-    const auto tpp = run("tpp");
+    const auto& artmem = runs[0];
+    const auto& tpp = runs[1];
 
-    Table table({"t (ms)", "artmem migrations", "artmem ratio",
-                 "tpp migrations", "tpp ratio"});
+    sweep::ResultSink table({"t (ms)", "artmem migrations", "artmem ratio",
+                             "tpp migrations", "tpp ratio"});
     const std::size_t rows =
         std::min(artmem.timeline.size(), tpp.timeline.size());
     for (std::size_t i = 0; i < rows; i += 4) {

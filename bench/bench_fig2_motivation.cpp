@@ -30,30 +30,47 @@ main(int argc, char** argv)
         "memtis", "autotiering", "tpp",       "autonuma",
         "multiclock", "nimble",  "tiering08", "artmem"};
 
-    Table runtime({"pattern", "static", "memtis", "autotiering", "tpp",
-                   "autonuma", "multiclock", "nimble", "tiering08",
-                   "artmem"});
-    Table ratio({"pattern", "static", "memtis", "autotiering", "tpp",
-                 "autonuma", "multiclock", "nimble", "tiering08",
-                 "artmem"});
-    Table volume({"pattern", "memtis", "autotiering", "tpp", "autonuma",
-                  "multiclock", "nimble", "tiering08", "artmem"});
-
+    // Per pattern: the static baseline followed by every system.
+    sweep::SweepSpec sweepspec;
+    std::vector<std::size_t> base_jobs;
+    std::vector<std::vector<std::size_t>> system_jobs;
     for (int k = 1; k <= 4; ++k) {
-        std::string pattern = "s";
+        std::string pattern = "s";  // built up to dodge gcc-12 PR105651
         pattern += std::to_string(k);
-        auto base_spec = make_spec(opt, pattern, "static", {1, 1});
-        const auto base = sim::run_experiment(base_spec);
+        base_jobs.push_back(
+            sweepspec.add(make_spec(opt, pattern, "static", {1, 1}),
+                          {pattern, "static", "1:1"}));
+        auto& jobs = system_jobs.emplace_back();
+        for (const auto& system : systems) {
+            jobs.push_back(
+                sweepspec.add(make_spec(opt, pattern, system, {1, 1}),
+                              {pattern, system, "1:1"}));
+        }
+    }
+    const auto runs = make_runner(opt).run(sweepspec);
+
+    sweep::ResultSink runtime({"pattern", "static", "memtis",
+                               "autotiering", "tpp", "autonuma",
+                               "multiclock", "nimble", "tiering08",
+                               "artmem"});
+    sweep::ResultSink ratio({"pattern", "static", "memtis", "autotiering",
+                             "tpp", "autonuma", "multiclock", "nimble",
+                             "tiering08", "artmem"});
+    sweep::ResultSink volume({"pattern", "memtis", "autotiering", "tpp",
+                              "autonuma", "multiclock", "nimble",
+                              "tiering08", "artmem"});
+
+    for (std::size_t k = 0; k < 4; ++k) {
+        std::string pattern = "s";  // built up to dodge gcc-12 PR105651
+        pattern += std::to_string(k + 1);
+        const auto& base = runs[base_jobs[k]];
 
         auto& rt = runtime.row().cell(pattern).cell(1.0, 2);
         auto& ra = ratio.row().cell(pattern).cell(base.fast_ratio, 3);
         auto& vol = volume.row().cell(pattern);
-        for (const auto& system : systems) {
-            auto spec = make_spec(opt, pattern, system, {1, 1});
-            const auto r = sim::run_experiment(spec);
-            rt.cell(static_cast<double>(r.runtime_ns) /
-                        static_cast<double>(base.runtime_ns),
-                    2);
+        for (std::size_t s = 0; s < systems.size(); ++s) {
+            const auto& r = runs[system_jobs[k][s]];
+            rt.cell(normalized_runtime(r, base), 2);
             ra.cell(r.fast_ratio, 3);
             vol.cell(r.migrated_gib(2ull << 20), 2);
         }

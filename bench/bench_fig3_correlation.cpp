@@ -24,17 +24,25 @@ main(int argc, char** argv)
                                              "ycsb", "btree", "xsbench",
                                              "liblinear"};
 
+    sweep::SweepSpec sweepspec;
+    for (const auto& system : systems)
+        for (const auto& workload : points)
+            sweepspec.add(make_spec(opt, workload, system, {1, 1}),
+                          {workload, system, "1:1"});
+    const auto runs = make_runner(opt).run(sweepspec);
+
     std::cout << "Figure 3: performance vs DRAM access ratio "
               << "(performance normalized to DRAM-only; 1:1 ratio)\n"
               << "accesses=" << opt.accesses << " seed=" << opt.seed
               << "\n\n";
 
+    std::size_t job = 0;
     for (const auto& system : systems) {
-        Table table({"workload", "dram_ratio", "perf_vs_dram_only"});
+        sweep::ResultSink table({"workload", "dram_ratio",
+                                 "perf_vs_dram_only"});
         std::vector<double> xs, ys;
         for (const auto& workload : points) {
-            auto spec = make_spec(opt, workload, system, {1, 1});
-            const auto r = sim::run_experiment(spec);
+            const auto& r = runs[job++];
             // DRAM-only: every access at the fast latency.
             const double dram_only_ns =
                 static_cast<double>(r.accesses) * 92.0;

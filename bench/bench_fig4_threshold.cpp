@@ -21,15 +21,38 @@ main(int argc, char** argv)
               << "accesses=" << opt.accesses << " seed=" << opt.seed
               << "\n\n";
 
-    Table table({"workload", "variant", "threshold", "migrated GiB",
-                 "runtime (ms)", "vs default"});
+    const std::vector<std::string> apps = {"liblinear", "xsbench"};
+    const std::vector<std::uint32_t> thresholds = {8, 16, 32, 64, 128};
 
-    for (const std::string workload : {"liblinear", "xsbench"}) {
+    // Per workload: the default-threshold run, then the tuning sweep.
+    sweep::SweepSpec sweepspec;
+    std::vector<std::size_t> default_jobs;
+    std::vector<std::vector<std::size_t>> tuned_jobs;
+    for (const auto& workload : apps) {
         auto spec = make_spec(opt, workload, "memtis", {1, 2});
-        policies::Memtis def;
-        const auto base = sim::run_experiment(spec, def);
+        default_jobs.push_back(sweepspec.add_with_policy(
+            spec, {workload, "default"},
+            [] { return std::make_unique<policies::Memtis>(); }));
+        auto& jobs = tuned_jobs.emplace_back();
+        for (const auto threshold : thresholds) {
+            jobs.push_back(sweepspec.add_with_policy(
+                spec, {workload, std::to_string(threshold)},
+                [threshold] {
+                    policies::Memtis::Config cfg;
+                    cfg.manual_threshold = threshold;
+                    return std::make_unique<policies::Memtis>(cfg);
+                }));
+        }
+    }
+    const auto runs = make_runner(opt).run(sweepspec);
+
+    sweep::ResultSink table({"workload", "variant", "threshold",
+                             "migrated GiB", "runtime (ms)", "vs default"});
+
+    for (std::size_t w = 0; w < apps.size(); ++w) {
+        const auto& base = runs[default_jobs[w]];
         table.row()
-            .cell(workload)
+            .cell(apps[w])
             .cell("default")
             .cell("capacity")
             .cell(base.migrated_gib(2ull << 20), 2)
@@ -41,19 +64,16 @@ main(int argc, char** argv)
         double best_runtime = static_cast<double>(base.runtime_ns);
         std::uint32_t best_threshold = 0;
         sim::RunResult best = base;
-        for (std::uint32_t threshold : {8u, 16u, 32u, 64u, 128u}) {
-            policies::Memtis::Config cfg;
-            cfg.manual_threshold = threshold;
-            policies::Memtis tuned(cfg);
-            const auto r = sim::run_experiment(spec, tuned);
+        for (std::size_t t = 0; t < thresholds.size(); ++t) {
+            const auto& r = runs[tuned_jobs[w][t]];
             if (static_cast<double>(r.runtime_ns) < best_runtime) {
                 best_runtime = static_cast<double>(r.runtime_ns);
-                best_threshold = threshold;
+                best_threshold = thresholds[t];
                 best = r;
             }
         }
         table.row()
-            .cell(workload)
+            .cell(apps[w])
             .cell("tuned")
             .cell(std::to_string(best_threshold))
             .cell(best.migrated_gib(2ull << 20), 2)

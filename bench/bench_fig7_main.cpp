@@ -5,6 +5,9 @@
  * systems plus ArtMem, normalized to AutoNUMA at 1:16 (lower is
  * better), followed by the paper's summary statistics (average ArtMem
  * improvement per ratio; headline 35%-172% / 114% average).
+ *
+ * All 8 x (1 + 8 x 6) runs execute as one deterministic sweep
+ * (--jobs N); output is bit-identical for any worker count.
  */
 #include <map>
 
@@ -24,6 +27,26 @@ main(int argc, char** argv)
         "multiclock", "nimble",      "tiering08", "artmem"};
     const auto ratios = sim::paper_ratios();
 
+    // One flat job list: per workload, the AutoNUMA 1:16 baseline
+    // followed by the system x ratio grid (the old serial loop order).
+    sweep::SweepSpec sweepspec;
+    std::vector<std::size_t> base_jobs;
+    std::vector<std::vector<std::vector<std::size_t>>> grid_jobs;
+    for (const auto workload : workloads) {
+        base_jobs.push_back(add_autonuma_baseline_job(
+            sweepspec, opt, std::string(workload)));
+        auto& by_system = grid_jobs.emplace_back();
+        for (const auto& system : systems) {
+            auto& by_ratio = by_system.emplace_back();
+            for (const auto& ratio : ratios) {
+                by_ratio.push_back(sweepspec.add(
+                    make_spec(opt, std::string(workload), system, ratio),
+                    {std::string(workload), system, ratio.label()}));
+            }
+        }
+    }
+    const auto runs = make_runner(opt).run(sweepspec);
+
     std::cout << "Table 3 workloads: ";
     for (auto w : workloads)
         std::cout << w << " ";
@@ -37,29 +60,21 @@ main(int argc, char** argv)
     OnlineStats improvement_all;
     std::map<std::string, OnlineStats> improvement_by_system;
 
-    for (const auto workload : workloads) {
-        auto base_spec =
-            make_spec(opt, std::string(workload), "autonuma", {1, 16});
-        const auto base = sim::run_experiment(base_spec);
-        const auto norm = [&](const sim::RunResult& r) {
-            return static_cast<double>(r.runtime_ns) /
-                   static_cast<double>(base.runtime_ns);
-        };
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto& base = runs[base_jobs[w]];
 
         std::vector<std::string> headers = {"system"};
         for (const auto& ratio : ratios)
             headers.push_back(ratio.label());
-        Table table(std::move(headers));
+        sweep::ResultSink table(std::move(headers));
 
         std::map<std::string, std::vector<double>> results;
-        for (const auto& system : systems) {
-            auto& row = table.row().cell(system);
-            for (const auto& ratio : ratios) {
-                auto spec =
-                    make_spec(opt, std::string(workload), system, ratio);
-                const auto r = sim::run_experiment(spec);
-                const double value = norm(r);
-                results[system].push_back(value);
+        for (std::size_t s = 0; s < systems.size(); ++s) {
+            auto& row = table.row().cell(systems[s]);
+            for (std::size_t r = 0; r < ratios.size(); ++r) {
+                const double value =
+                    normalized_runtime(runs[grid_jobs[w][s][r]], base);
+                results[systems[s]].push_back(value);
                 row.cell(value, 3);
             }
         }
@@ -75,14 +90,14 @@ main(int argc, char** argv)
             }
         }
 
-        std::cout << "\nWorkload: " << workload << "\n";
+        std::cout << "\nWorkload: " << workloads[w] << "\n";
         emit(table, opt);
     }
 
     std::cout << "\nSummary: average ArtMem improvement over the seven "
                  "baselines per DRAM:PM ratio\n"
               << "(paper: 132%, 124%, 104%, 91%, 72%, 67%)\n";
-    Table summary({"ratio", "avg improvement %"});
+    sweep::ResultSink summary({"ratio", "avg improvement %"});
     for (const auto& ratio : ratios) {
         summary.row()
             .cell(ratio.label())
@@ -93,7 +108,7 @@ main(int argc, char** argv)
     std::cout << "\nAverage ArtMem improvement per baseline system "
                  "(paper: 10.4% - 43.65% vs the best baseline; "
                  "114% on average over all)\n";
-    Table per_system({"baseline", "avg improvement %"});
+    sweep::ResultSink per_system({"baseline", "avg improvement %"});
     for (const auto& system : systems) {
         if (system == "artmem")
             continue;

@@ -16,32 +16,45 @@ main(int argc, char** argv)
     using namespace artmem::bench;
     const auto opt = BenchOptions::parse(argc, argv, 6000000);
     const auto ratios = sim::paper_ratios();
+    const std::vector<std::string> apps = {"sssp", "cc"};
+
+    sweep::SweepSpec sweepspec;
+    for (const auto& workload : apps) {
+        for (const bool use_rl : {false, true}) {
+            for (const auto& ratio : ratios) {
+                core::ArtMemConfig cfg;
+                cfg.seed = opt.seed;
+                cfg.use_rl = use_rl;
+                sweepspec.add_with_policy(
+                    make_spec(opt, workload, "artmem", ratio),
+                    {workload, use_rl ? "RL" : "heuristic", ratio.label()},
+                    [cfg] { return sim::make_artmem(cfg); });
+            }
+        }
+    }
+    const auto runs = make_runner(opt).run(sweepspec);
 
     std::cout << "Figure 9: DRAM access ratio, heuristic vs RL scope "
                  "adjustment\naccesses="
               << opt.accesses << " seed=" << opt.seed << "\n";
 
-    for (const std::string workload : {"sssp", "cc"}) {
+    std::size_t job = 0;
+    for (const auto& workload : apps) {
         std::vector<std::string> headers = {"method"};
         for (const auto& ratio : ratios)
             headers.push_back(ratio.label());
-        Table ratio_table(headers);
-        Table runtime_table(headers);
+        sweep::ResultSink ratio_table(headers);
+        sweep::ResultSink runtime_table(headers);
 
         for (const bool use_rl : {false, true}) {
             auto& ratio_row =
                 ratio_table.row().cell(use_rl ? "RL" : "heuristic");
             auto& runtime_row =
                 runtime_table.row().cell(use_rl ? "RL" : "heuristic");
-            for (const auto& ratio : ratios) {
-                core::ArtMemConfig cfg;
-                cfg.seed = opt.seed;
-                cfg.use_rl = use_rl;
-                auto policy = sim::make_artmem(cfg);
-                auto spec = make_spec(opt, workload, "artmem", ratio);
-                const auto r = sim::run_experiment(spec, *policy);
-                ratio_row.cell(r.fast_ratio, 3);
-                runtime_row.cell(r.seconds() * 1e3, 1);
+            for (std::size_t r = 0; r < ratios.size(); ++r) {
+                const auto& run = runs[job++];
+                ratio_row.cell(run.fast_ratio, 3);
+                runtime_row.cell(run.seconds() * 1e3, 1);
             }
         }
         std::cout << "\nWorkload: " << workload << " — DRAM access ratio\n";

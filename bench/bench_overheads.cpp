@@ -7,7 +7,9 @@
  *    the paper bounds sampling at <= 3% CPU;
  *  - Q-table computation: one TD update; the paper reports <= 0.07%
  *    CPU for the whole decision cadence;
- *  - Q-table memory: both tables fit in < 10 KB (checked and printed).
+ *  - Q-table memory: both tables fit in < 10 KB (checked and printed);
+ *  - sweep dispatch: per-job cost of the thread pool and SweepRunner
+ *    (must be negligible against a multi-millisecond simulation job).
  */
 #include <benchmark/benchmark.h>
 
@@ -17,7 +19,9 @@
 #include "rl/agent.hpp"
 #include "stats/access_ratio.hpp"
 #include "stats/ema_bins.hpp"
+#include "sweep/sweep.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -124,6 +128,43 @@ BM_MigrationPlanning(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MigrationPlanning);
+
+void
+BM_ThreadPoolDispatch(benchmark::State& state)
+{
+    // Raw submit+wait cost per task on the sweep subsystem's pool.
+    const auto tasks = static_cast<std::size_t>(state.range(0));
+    ThreadPool pool(2);
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < tasks; ++i)
+            pool.submit([&sink, i] {
+                benchmark::DoNotOptimize(sink += i);
+            });
+        pool.wait();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(tasks));
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(64)->Arg(1024);
+
+void
+BM_SweepRunnerMap(benchmark::State& state)
+{
+    // End-to-end SweepRunner dispatch: result-slot allocation, pool
+    // round trip, and index-ordered collection for trivial jobs.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    sweep::SweepRunner runner({.jobs = 2, .progress = false});
+    for (auto _ : state) {
+        auto out = runner.map<std::uint64_t>(n, [](std::size_t i) {
+            return derive_seed(42, static_cast<std::uint64_t>(i));
+        });
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SweepRunnerMap)->Arg(64)->Arg(1024);
 
 /** Prints the Section 6.4 summary around the google-benchmark run. */
 class OverheadReporter : public benchmark::ConsoleReporter

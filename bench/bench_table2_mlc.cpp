@@ -9,37 +9,44 @@
  */
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "memsim/mlc.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
 
 int
 main(int argc, char** argv)
 {
     using namespace artmem;
-    const auto args = CliArgs::parse(argc, argv);
-    const auto accesses =
-        static_cast<std::uint64_t>(args.get_int("accesses", 200000));
-
-    memsim::MachineConfig config;
-    config.address_space = 256ull << 20;
-    config.tiers[0].capacity = 128ull << 20;
-    config.tiers[1].capacity = 512ull << 20;
+    using namespace artmem::bench;
+    const auto opt = BenchOptions::parse(argc, argv, 200000);
 
     std::cout << "Table 2: hardware overview of the simulated system\n"
               << "(paper: fast 92 ns / 81 GB/s, slow 323 ns / 26 GB/s)\n\n";
 
-    Table table({"Memory Tier", "Latency (ns)", "Bandwidth (GB/s)"});
-    for (auto tier : {memsim::Tier::kFast, memsim::Tier::kSlow}) {
-        memsim::TieredMachine machine(config);
-        const auto r =
-            memsim::measure_tier(machine, tier, accesses, 8ull << 30);
+    // The per-tier probes are not RunResults, so this harness uses the
+    // runner's generic map(): one MLC probe per tier, its own machine.
+    const memsim::Tier tiers[] = {memsim::Tier::kFast, memsim::Tier::kSlow};
+    auto runner = make_runner(opt);
+    const auto probes = runner.map<memsim::MlcResult>(
+        std::size(tiers), [&](std::size_t idx) {
+            memsim::MachineConfig config;
+            config.address_space = 256ull << 20;
+            config.tiers[0].capacity = 128ull << 20;
+            config.tiers[1].capacity = 512ull << 20;
+            memsim::TieredMachine machine(config);
+            return memsim::measure_tier(machine, tiers[idx], opt.accesses,
+                                        8ull << 30);
+        });
+
+    sweep::ResultSink table(
+        {"Memory Tier", "Latency (ns)", "Bandwidth (GB/s)"});
+    for (std::size_t i = 0; i < std::size(tiers); ++i) {
         table.row()
-            .cell(std::string(tier == memsim::Tier::kFast ? "Fast Memory"
-                                                          : "Slow Memory"))
-            .cell(r.latency_ns, 1)
-            .cell(r.bandwidth_gbps, 1);
+            .cell(std::string(tiers[i] == memsim::Tier::kFast
+                                  ? "Fast Memory"
+                                  : "Slow Memory"))
+            .cell(probes[i].latency_ns, 1)
+            .cell(probes[i].bandwidth_gbps, 1);
     }
-    table.print(std::cout);
+    emit(table, opt);
     return 0;
 }

@@ -9,7 +9,10 @@
 #      nondeterminism lint),
 #   4. invariant-checked fault sweep: every built-in --fault-scenario
 #      under --check-invariants must finish with zero violations,
-#   5. (optional, slow) sanitizers: pass --sanitizers to append
+#   5. sweep determinism: bench_fig7_main --csv run twice, --jobs 1 vs
+#      --jobs 4, and the outputs diffed byte-for-byte (the parallel
+#      sweep runner must not change a single emitted number),
+#   6. (optional, slow) sanitizers: pass --sanitizers to append
 #      scripts/check_sanitizers.sh.
 #
 #   scripts/ci.sh [--sanitizers]
@@ -28,25 +31,33 @@ for arg in "$@"; do
     esac
 done
 
-echo "==> [1/4] default build + tests"
+echo "==> [1/5] default build + tests"
 cmake -B build -S . > /dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "==> [2/4] strict build (ARTMEM_STRICT=ON)"
+echo "==> [2/5] strict build (ARTMEM_STRICT=ON)"
 cmake -B build-strict -S . -DARTMEM_STRICT=ON > /dev/null
 cmake --build build-strict -j "${jobs}"
 
-echo "==> [3/4] lint"
+echo "==> [3/5] lint"
 scripts/check_lint.sh build
 
-echo "==> [4/4] invariant-checked fault sweep"
+echo "==> [4/5] invariant-checked fault sweep"
 for scenario in none migration degrade blackout pressure; do
     echo "--- scenario ${scenario}"
     ./build/tools/artmem run --workload=s2 --policy=artmem --ratio=1:4 \
         --accesses=1000000 --fault-scenario="${scenario}" \
         --check-invariants
 done
+
+echo "==> [5/5] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
+./build/bench/bench_fig7_main --csv --accesses=200000 --jobs=1 \
+    > build/fig7_jobs1.csv
+./build/bench/bench_fig7_main --csv --accesses=200000 --jobs=4 \
+    > build/fig7_jobs4.csv
+cmp build/fig7_jobs1.csv build/fig7_jobs4.csv
+echo "sweep output identical across --jobs 1 and --jobs 4"
 
 if [[ "${run_sanitizers}" -eq 1 ]]; then
     echo "==> [extra] sanitizers"

@@ -1,0 +1,104 @@
+#include "sweep/result_sink.hpp"
+
+#include <cctype>
+#include <ostream>
+
+namespace artmem::sweep {
+
+namespace {
+
+/**
+ * True when @p text is a plain JSON-compatible number (the output of
+ * format_fixed / std::to_string): optional sign, digits, optional
+ * fraction, optional exponent. "nan"/"inf" and ratio labels like
+ * "1:16" fail and are emitted as quoted strings instead.
+ */
+bool
+is_json_number(const std::string& text)
+{
+    std::size_t i = 0;
+    const auto digits = [&] {
+        std::size_t start = i;
+        while (i < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[i])))
+            ++i;
+        return i > start;
+    };
+    if (i < text.size() && text[i] == '-')
+        ++i;
+    if (!digits())
+        return false;
+    if (i < text.size() && text[i] == '.') {
+        ++i;
+        if (!digits())
+            return false;
+    }
+    if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+        ++i;
+        if (i < text.size() && (text[i] == '-' || text[i] == '+'))
+            ++i;
+        if (!digits())
+            return false;
+    }
+    return i == text.size();
+}
+
+void
+emit_json_string(std::ostream& os, const std::string& text)
+{
+    os << '"';
+    for (char c : text) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default: os << c; break;
+        }
+    }
+    os << '"';
+}
+
+}  // namespace
+
+void
+ResultSink::emit(std::ostream& os, Format format)
+{
+    switch (format) {
+    case Format::kTable:
+        table_.print(os);
+        break;
+    case Format::kCsv:
+        table_.print_csv(os);
+        break;
+    case Format::kJson:
+        emit_json(os);
+        break;
+    }
+}
+
+void
+ResultSink::emit_json(std::ostream& os)
+{
+    table_.flush();
+    const auto& headers = table_.headers();
+    const auto& rows = table_.rows();
+    os << "[\n";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        os << "  {";
+        for (std::size_t c = 0; c < rows[r].size(); ++c) {
+            emit_json_string(os, headers[c]);
+            os << ": ";
+            if (is_json_number(rows[r][c]))
+                os << rows[r][c];
+            else
+                emit_json_string(os, rows[r][c]);
+            if (c + 1 < rows[r].size())
+                os << ", ";
+        }
+        os << (r + 1 < rows.size() ? "},\n" : "}\n");
+    }
+    os << "]\n";
+}
+
+}  // namespace artmem::sweep

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unified emission path for sweep results: one labelled row store that
+ * prints as an aligned table, CSV, or JSON. Replaces the per-bench
+ * ad-hoc Table/CSV plumbing so every harness shares one output
+ * contract (and golden diffs compare a single format).
+ */
+#ifndef ARTMEM_SWEEP_RESULT_SINK_HPP
+#define ARTMEM_SWEEP_RESULT_SINK_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace artmem::sweep {
+
+/** Output format selected by the harness flags (--csv / --json). */
+enum class Format { kTable, kCsv, kJson };
+
+/**
+ * Collects labelled result rows and emits them in the chosen format.
+ *
+ * The row-building API mirrors util/Table (row()/cell() chaining) so
+ * the bench harnesses keep their assembly shape; table and CSV output
+ * are byte-identical to what Table printed before the sweep refactor.
+ */
+class ResultSink
+{
+  public:
+    /** Create a sink with the given column headers (label keys). */
+    explicit ResultSink(std::vector<std::string> headers)
+        : table_(std::move(headers))
+    {
+    }
+
+    /** Append a fully formed row; must match the header width. */
+    void add_row(std::vector<std::string> cells)
+    {
+        table_.add_row(std::move(cells));
+    }
+
+    /** Begin building a row cell-by-cell. */
+    ResultSink& row()
+    {
+        table_.row();
+        return *this;
+    }
+
+    /** Append a string cell to the row under construction. */
+    ResultSink& cell(std::string value)
+    {
+        table_.cell(std::move(value));
+        return *this;
+    }
+
+    /** Append a numeric cell with fixed precision. */
+    ResultSink& cell(double value, int precision = 3)
+    {
+        table_.cell(value, precision);
+        return *this;
+    }
+
+    /** Append an integer cell. */
+    ResultSink& cell(std::uint64_t value)
+    {
+        table_.cell(value);
+        return *this;
+    }
+
+    /** Number of data rows. */
+    std::size_t row_count() const { return table_.row_count(); }
+
+    /** Print in @p format (table/CSV via Table; JSON row objects). */
+    void emit(std::ostream& os, Format format);
+
+  private:
+    void emit_json(std::ostream& os);
+
+    Table table_;
+};
+
+}  // namespace artmem::sweep
+
+#endif  // ARTMEM_SWEEP_RESULT_SINK_HPP

@@ -1,0 +1,122 @@
+#include "sweep/sweep.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace artmem::sweep {
+
+SweepSpec
+SweepSpec::grid(const std::vector<std::string>& workloads,
+                const std::vector<std::string>& policies,
+                const std::vector<sim::RatioSpec>& ratios,
+                const sim::RunSpec& prototype)
+{
+    SweepSpec spec;
+    spec.jobs.reserve(workloads.size() * policies.size() * ratios.size());
+    for (const auto& workload : workloads) {
+        for (const auto& policy : policies) {
+            for (const auto& ratio : ratios) {
+                sim::RunSpec run = prototype;
+                run.workload = workload;
+                run.policy = policy;
+                run.ratio = ratio;
+                spec.add(std::move(run),
+                         {workload, policy, ratio.label()});
+            }
+        }
+    }
+    return spec;
+}
+
+void
+SweepSpec::derive_seeds(std::uint64_t base_seed)
+{
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        jobs[i].spec.seed = derive_seed(base_seed, i);
+}
+
+sim::RunResult
+run_job(const SweepJob& job)
+{
+    if (job.run)
+        return job.run();
+    if (job.make_policy) {
+        auto policy = job.make_policy();
+        return sim::run_experiment(job.spec, *policy);
+    }
+    return sim::run_experiment(job.spec);
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
+
+std::vector<sim::RunResult>
+SweepRunner::run(const SweepSpec& spec)
+{
+    return map<sim::RunResult>(spec.jobs.size(), [&](std::size_t i) {
+        return run_job(spec.jobs[i]);
+    });
+}
+
+void
+SweepRunner::run_indexed(std::size_t n,
+                         const std::function<void(std::size_t)>& fn)
+{
+    if (n == 0)
+        return;
+
+    // Progress (and its ETA wall-clock) goes to stderr only and never
+    // feeds the result vector, so it cannot break bit-identity.
+    const bool progress =
+        options_.progress && n > 1 && isatty(fileno(stderr)) != 0;
+    using Clock = std::chrono::steady_clock;  // lint:allow(chrono) ETA on stderr only
+    const auto start = Clock::now();
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+
+    auto report = [&] {
+        if (!progress)
+            return;
+        std::unique_lock<std::mutex> lock(progress_mutex);
+        ++done;
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        const double eta =
+            elapsed / static_cast<double>(done) *
+            static_cast<double>(n - done);
+        std::fprintf(stderr, "\rsweep: %zu/%zu jobs done, eta %.1fs%s",
+                     done, n, eta, done == n ? "\n" : "");
+        std::fflush(stderr);
+    };
+
+    unsigned workers = options_.jobs;
+    if (workers == 0)
+        workers = std::max(1u, std::thread::hardware_concurrency());
+    if (static_cast<std::size_t>(workers) > n)
+        workers = static_cast<unsigned>(n);
+
+    if (workers <= 1) {
+        // Serial fast path: no pool, exceptions propagate directly.
+        for (std::size_t i = 0; i < n; ++i) {
+            fn(i);
+            report();
+        }
+        return;
+    }
+
+    ThreadPool pool(workers);
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&, i] {
+            fn(i);
+            report();
+        });
+    }
+    pool.wait();
+}
+
+}  // namespace artmem::sweep

@@ -13,6 +13,14 @@ splitmix64(std::uint64_t& state)
     return z ^ (z >> 31);
 }
 
+std::uint64_t
+derive_seed(std::uint64_t base_seed, std::uint64_t index)
+{
+    std::uint64_t state = base_seed;
+    state = splitmix64(state) ^ index;
+    return splitmix64(state);
+}
+
 namespace {
 
 inline std::uint64_t

@@ -19,6 +19,16 @@ namespace artmem {
 std::uint64_t splitmix64(std::uint64_t& state);
 
 /**
+ * Seed for job @p index of a sweep with @p base_seed.
+ *
+ * A pure function of (base_seed, index) — never of grid shape,
+ * scheduling order, or worker count — so every job in a parallel sweep
+ * draws from the same RNG stream it would get in a serial run. Two
+ * SplitMix64 steps decorrelate neighbouring indices.
+ */
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index);
+
+/**
  * xoshiro256** pseudo-random generator.
  *
  * Satisfies the UniformRandomBitGenerator concept so it can also be fed

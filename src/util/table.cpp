@@ -64,6 +64,12 @@ Table::cell(std::uint64_t value)
 }
 
 void
+Table::flush()
+{
+    flush_pending();
+}
+
+void
 Table::flush_pending()
 {
     if (!has_pending_)

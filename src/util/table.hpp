@@ -38,6 +38,18 @@ class Table
     /** Number of data rows. */
     std::size_t row_count() const { return rows_.size(); }
 
+    /** Finish the row under construction (print* do this implicitly). */
+    void flush();
+
+    /** Column headers. */
+    const std::vector<std::string>& headers() const { return headers_; }
+
+    /** Finished data rows; call flush() first if building a row. */
+    const std::vector<std::vector<std::string>>& rows() const
+    {
+        return rows_;
+    }
+
     /** Print aligned with a separator rule under the header. */
     void print(std::ostream& os);
 

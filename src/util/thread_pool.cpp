@@ -1,0 +1,83 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace artmem {
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = std::max(1u, std::thread::hardware_concurrency());
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && in_flight_ == 0; });
+    if (first_error_) {
+        auto error = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return;  // stopping_ and nothing left to run
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++in_flight_;
+        }
+        try {
+            task();
+        } catch (...) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (queue_.empty() && in_flight_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+}  // namespace artmem

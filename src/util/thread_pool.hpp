@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bounded worker pool used by the sweep subsystem (sweep/sweep.hpp).
+ *
+ * The pool is deliberately minimal: FIFO task queue, a fixed number of
+ * workers, and a wait() barrier that rethrows the first task exception.
+ * It contains no wall-clock reads and no entropy sources, so code built
+ * on it stays clean under scripts/check_lint.sh — determinism has to
+ * come from the tasks themselves (each sweep job owns all of its
+ * mutable state and writes only its own result slot).
+ */
+#ifndef ARTMEM_UTIL_THREAD_POOL_HPP
+#define ARTMEM_UTIL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace artmem {
+
+/** Fixed-size worker pool with exception-propagating wait(). */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p workers threads; 0 means one per hardware thread
+     * (std::thread::hardware_concurrency, at least 1).
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Joins all workers; pending tasks are still executed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads actually running. */
+    unsigned worker_count() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueue @p task. Tasks run in FIFO submission order (though
+     * completion order depends on scheduling). A throwing task does not
+     * kill its worker: the first exception is captured and rethrown by
+     * the next wait(); later tasks still run.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until the queue is empty and no task is in flight, then
+     * rethrow the first exception any task raised since the previous
+     * wait() (clearing it, so the pool stays usable).
+     */
+    void wait();
+
+  private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;  ///< Signals workers: task/stop.
+    std::condition_variable idle_cv_;  ///< Signals wait(): all drained.
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr first_error_;
+};
+
+}  // namespace artmem
+
+#endif  // ARTMEM_UTIL_THREAD_POOL_HPP

@@ -5,12 +5,15 @@
  *   artmem list                              inventory of workloads/policies
  *   artmem run --workload=cc --policy=artmem --ratio=1:4 [--timeline]
  *   artmem sweep --workload=ycsb             all policies x all ratios
+ *     sweep-only: --jobs=N (parallel workers; results are bit-identical
+ *     to --jobs=1), --derive-seeds (per-job seed streams via
+ *     derive_seed(seed, job_index) instead of one shared seed)
  *   artmem train --workload=cc --out=q.tbl   save converged Q-tables
  *   artmem run ... --qtables=q.tbl           start from trained tables
  *   artmem trace-record --workload=s1 --out=s1.trace
  *   artmem trace-run --trace=s1.trace --policy=memtis
  *
- * Common flags: --accesses=N --seed=N --csv
+ * Common flags: --accesses=N --seed=N --csv --json
  */
 #include <fstream>
 #include <iostream>
@@ -18,6 +21,8 @@
 
 #include "memsim/fault_injector.hpp"
 #include "sim/experiment.hpp"
+#include "sweep/result_sink.hpp"
+#include "sweep/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/config.hpp"
 #include "util/logging.hpp"
@@ -162,26 +167,47 @@ cmd_run(const CliArgs& args)
 int
 cmd_sweep(const CliArgs& args)
 {
-    auto spec = parse_spec(args);
+    const auto spec = parse_spec(args);
     const auto ratios = sim::paper_ratios();
+
+    sweep::SweepSpec sweepspec;
+    for (const auto policy : sim::policy_names()) {
+        for (const auto& ratio : ratios) {
+            auto job = spec;
+            job.policy = std::string(policy);
+            job.ratio = ratio;
+            sweepspec.add(std::move(job), {spec.workload,
+                                           std::string(policy),
+                                           ratio.label()});
+        }
+    }
+    // Opt-in per-job seed streams; the default (one shared seed for
+    // every cell) matches the paper's evaluation convention.
+    if (args.get_bool("derive-seeds", false))
+        sweepspec.derive_seeds(spec.seed);
+
+    sweep::SweepRunner runner(
+        {.jobs = static_cast<unsigned>(args.get_int("jobs", 0)),
+         .progress = true});
+    const auto runs = runner.run(sweepspec);
+
     std::vector<std::string> headers = {"policy"};
     for (const auto& r : ratios)
         headers.push_back(r.label());
-    Table table(std::move(headers));
+    sweep::ResultSink table(std::move(headers));
+    std::size_t job = 0;
     for (const auto policy : sim::policy_names()) {
         auto& row = table.row().cell(std::string(policy));
-        for (const auto& ratio : ratios) {
-            spec.policy = std::string(policy);
-            spec.ratio = ratio;
-            const auto r = sim::run_experiment(spec);
-            row.cell(r.seconds() * 1e3, 1);
-        }
+        for (std::size_t r = 0; r < ratios.size(); ++r)
+            row.cell(runs[job++].seconds() * 1e3, 1);
     }
     std::cout << "runtime (ms), workload=" << spec.workload << "\n";
-    if (args.get_bool("csv", false))
-        table.print_csv(std::cout);
-    else
-        table.print(std::cout);
+    const auto format = args.get_bool("json", false)
+                            ? sweep::Format::kJson
+                            : (args.get_bool("csv", false)
+                                   ? sweep::Format::kCsv
+                                   : sweep::Format::kTable);
+    table.emit(std::cout, format);
     return 0;
 }
 
@@ -249,7 +275,10 @@ main(int argc, char** argv)
             << "usage: artmem <list|run|sweep|train|trace-record|"
                "trace-run> [flags]\n"
                "flags: --workload= --policy= --ratio=F:S --accesses=N "
-               "--seed=N --timeline --qtables= --out= --trace= --csv\n"
+               "--seed=N --timeline --qtables= --out= --trace= --csv "
+               "--json\n"
+               "       --jobs=N --derive-seeds (sweep: parallel workers / "
+               "per-job seed streams)\n"
                "       --fault-scenario=<none|migration|degrade|blackout|"
                "pressure> --fault-config=<file> --fault-seed=N\n"
                "       --check-invariants (audit simulator state every "
