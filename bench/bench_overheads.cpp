@@ -9,7 +9,12 @@
  *    CPU for the whole decision cadence;
  *  - Q-table memory: both tables fit in < 10 KB (checked and printed);
  *  - sweep dispatch: per-job cost of the thread pool and SweepRunner
- *    (must be negligible against a multi-millisecond simulation job).
+ *    (must be negligible against a multi-millisecond simulation job);
+ *  - telemetry: the same simulation with telemetry fully off vs fully
+ *    on (metrics + all trace categories + profiling). The off arm
+ *    measures the zero-cost contract (every instrumentation site is a
+ *    branch on a null pointer); the on/off delta is the subsystem's
+ *    whole-stack overhead, recorded in EXPERIMENTS.md (< 2% target).
  */
 #include <benchmark/benchmark.h>
 
@@ -17,9 +22,11 @@
 #include "lru/lru_lists.hpp"
 #include "memsim/pebs.hpp"
 #include "rl/agent.hpp"
+#include "sim/experiment.hpp"
 #include "stats/access_ratio.hpp"
 #include "stats/ema_bins.hpp"
 #include "sweep/sweep.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -165,6 +172,34 @@ BM_SweepRunnerMap(benchmark::State& state)
                             static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_SweepRunnerMap)->Arg(64)->Arg(1024);
+
+void
+BM_SimTelemetry(benchmark::State& state)
+{
+    // Whole-stack telemetry overhead: one seeded simulation, telemetry
+    // off (state.range(0) == 0) vs everything on (metrics + all trace
+    // categories + phase profiling). Results are discarded each
+    // iteration; only host time differs between the two arms.
+    const bool on = state.range(0) != 0;
+    sim::RunSpec spec;
+    spec.workload = "ycsb";
+    spec.policy = "artmem";
+    spec.ratio = {1, 4};
+    spec.accesses = 200000;
+    if (on) {
+        spec.engine.telemetry.metrics = true;
+        spec.engine.telemetry.trace_categories = telemetry::kAllCategories;
+        spec.engine.telemetry.profile = true;
+    }
+    for (auto _ : state) {
+        const auto r = sim::run_experiment(spec);
+        benchmark::DoNotOptimize(r.fast_ratio);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(spec.accesses));
+    state.SetLabel(on ? "telemetry=on" : "telemetry=off");
+}
+BENCHMARK(BM_SimTelemetry)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 /** Prints the Section 6.4 summary around the google-benchmark run. */
 class OverheadReporter : public benchmark::ConsoleReporter

@@ -15,9 +15,11 @@
  *   phase0.region0 = 20480 500 45.0        # offset_mib size_mib weight
  *   phase0.region1 = 0 32768 10.0 seq      # trailing 'seq' = sequential
  */
+#include <fstream>
 #include <iostream>
 
 #include "sim/experiment.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
@@ -31,7 +33,9 @@ main(int argc, char** argv)
     if (args.positional().empty()) {
         std::cerr << "usage: " << args.program()
                   << " <config-file> [--policy=artmem] [--ratio=1:1]"
-                     " [--seed=N] [--timeline] [--check-invariants]\n";
+                     " [--seed=N] [--timeline] [--check-invariants]\n"
+                     "       [--metrics-out=FILE] [--trace-out=BASE]"
+                     " [--trace-categories=LIST] [--profile]\n";
         return 1;
     }
 
@@ -59,6 +63,15 @@ main(int argc, char** argv)
     engine.record_timeline = args.get_bool("timeline", false);
     engine.check_invariants = args.get_bool("check-invariants", false);
 
+    const std::string metrics_out = args.get_string("metrics-out", "");
+    const std::string trace_out = args.get_string("trace-out", "");
+    engine.telemetry.metrics = !metrics_out.empty();
+    engine.telemetry.profile = args.get_bool("profile", false);
+    if (!trace_out.empty()) {
+        engine.telemetry.trace_categories = telemetry::parse_categories(
+            args.get_string("trace-categories", "all"));
+    }
+
     const auto r = sim::run_simulation(gen, *policy, machine, engine);
 
     std::cout << "workload=" << gen.name() << " footprint="
@@ -79,6 +92,23 @@ main(int argc, char** argv)
                 .cell(iv.demoted);
         }
         table.print(std::cout);
+    }
+
+    if (r.telemetry != nullptr) {
+        if (!metrics_out.empty()) {
+            std::ofstream out(metrics_out);
+            r.telemetry->metrics_registry().write_json(out);
+        }
+        if (!trace_out.empty()) {
+            if (const auto* sink = r.telemetry->sink()) {
+                std::ofstream jsonl(trace_out + ".jsonl");
+                sink->write_jsonl(jsonl);
+                std::ofstream chrome(trace_out + ".json");
+                sink->write_chrome(chrome);
+            }
+        }
+        if (engine.telemetry.profile)
+            r.telemetry->phase_profiler().write_table(std::cerr);
     }
     return 0;
 }

@@ -23,18 +23,24 @@ fail=0
 # Sources of nondeterminism are banned from the library, tools, benches
 # and examples (tests may use gtest's own machinery but not these
 # either). Suppress a deliberate use with a trailing
-# "// lint:allow(<token>) <reason>" on the same line.
+# "// lint:allow(<token>) <reason>" on the same line, or — for a file
+# whose whole purpose is the banned construct — a path allowlist passed
+# as ban()'s fourth argument (used for the telemetry phase profiler,
+# the one translation unit allowed to read a wall clock).
 # ---------------------------------------------------------------------
 echo "==> custom lint (nondeterminism hazards)"
 
 lint_paths=(src tools bench examples tests)
 
 ban() {
-    local pattern="$1" token="$2" why="$3"
+    local pattern="$1" token="$2" why="$3" allow_path="${4:-}"
     local hits
     hits="$(grep -RnE "${pattern}" "${lint_paths[@]}" \
                 --include='*.cpp' --include='*.hpp' \
             | grep -v "lint:allow(${token})" || true)"
+    if [[ -n "${allow_path}" && -n "${hits}" ]]; then
+        hits="$(grep -v "^${allow_path}:" <<< "${hits}" || true)"
+    fi
     if [[ -n "${hits}" ]]; then
         echo "lint: banned ${token} (${why}):"
         echo "${hits}"
@@ -42,13 +48,19 @@ ban() {
     fi
 }
 
+# Wall-clock phase profiling (telemetry --profile) is excluded from
+# every determinism check; its clock reads live in exactly one file.
+wallclock_allow='src/telemetry/phase_timer.cpp'
+
 # Wall-clock and CPU-clock time: simulated time must come from
 # TieredMachine::now() only.
 ban '\brand\(\)|\bsrand\(' 'rand' 'unseeded C RNG breaks reproducibility'
 ban '\btime\(' 'time' 'wall-clock seeding breaks bit-identity'
-ban '\bgettimeofday\(|\bclock\(\)' 'clock' 'wall-clock in simulation code'
+ban '\bgettimeofday\(|\bclock\(\)' 'clock' 'wall-clock in simulation code' \
+    "${wallclock_allow}"
 ban 'std::chrono::(system_clock|steady_clock|high_resolution_clock)' \
-    'chrono' 'wall-clock in simulation code (benchmark lib handles timing)'
+    'chrono' 'wall-clock in simulation code (benchmark lib handles timing)' \
+    "${wallclock_allow}"
 # Platform-entropy seeding: every Rng/mt19937 must take an explicit
 # deterministic seed.
 ban 'std::random_device' 'random_device' 'platform entropy breaks replays'

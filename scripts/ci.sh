@@ -12,7 +12,11 @@
 #   5. sweep determinism: bench_fig7_main --csv run twice, --jobs 1 vs
 #      --jobs 4, and the outputs diffed byte-for-byte (the parallel
 #      sweep runner must not change a single emitted number),
-#   6. (optional, slow) sanitizers: pass --sanitizers to append
+#   6. telemetry smoke: a traced masim_runner run on
+#      configs/telemetry_smoke.cfg; the Chrome trace and metrics files
+#      must be valid JSON (python3 -m json.tool) and a second identical
+#      seeded run must reproduce the metrics and trace byte-for-byte,
+#   7. (optional, slow) sanitizers: pass --sanitizers to append
 #      scripts/check_sanitizers.sh.
 #
 #   scripts/ci.sh [--sanitizers]
@@ -31,19 +35,19 @@ for arg in "$@"; do
     esac
 done
 
-echo "==> [1/5] default build + tests"
+echo "==> [1/6] default build + tests"
 cmake -B build -S . > /dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "==> [2/5] strict build (ARTMEM_STRICT=ON)"
+echo "==> [2/6] strict build (ARTMEM_STRICT=ON)"
 cmake -B build-strict -S . -DARTMEM_STRICT=ON > /dev/null
 cmake --build build-strict -j "${jobs}"
 
-echo "==> [3/5] lint"
+echo "==> [3/6] lint"
 scripts/check_lint.sh build
 
-echo "==> [4/5] invariant-checked fault sweep"
+echo "==> [4/6] invariant-checked fault sweep"
 for scenario in none migration degrade blackout pressure; do
     echo "--- scenario ${scenario}"
     ./build/tools/artmem run --workload=s2 --policy=artmem --ratio=1:4 \
@@ -51,13 +55,29 @@ for scenario in none migration degrade blackout pressure; do
         --check-invariants
 done
 
-echo "==> [5/5] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
+echo "==> [5/6] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
 ./build/bench/bench_fig7_main --csv --accesses=200000 --jobs=1 \
     > build/fig7_jobs1.csv
 ./build/bench/bench_fig7_main --csv --accesses=200000 --jobs=4 \
     > build/fig7_jobs4.csv
 cmp build/fig7_jobs1.csv build/fig7_jobs4.csv
 echo "sweep output identical across --jobs 1 and --jobs 4"
+
+echo "==> [6/6] telemetry smoke (traced run, JSON validity, byte-identity)"
+./build/examples/masim_runner configs/telemetry_smoke.cfg \
+    --policy=artmem --ratio=1:4 \
+    --metrics-out=build/telemetry_a.metrics.json \
+    --trace-out=build/telemetry_a --profile
+python3 -m json.tool build/telemetry_a.metrics.json > /dev/null
+python3 -m json.tool build/telemetry_a.json > /dev/null
+./build/examples/masim_runner configs/telemetry_smoke.cfg \
+    --policy=artmem --ratio=1:4 \
+    --metrics-out=build/telemetry_b.metrics.json \
+    --trace-out=build/telemetry_b
+cmp build/telemetry_a.metrics.json build/telemetry_b.metrics.json
+cmp build/telemetry_a.jsonl build/telemetry_b.jsonl
+cmp build/telemetry_a.json build/telemetry_b.json
+echo "telemetry outputs valid JSON and byte-identical across reruns"
 
 if [[ "${run_sanitizers}" -eq 1 ]]; then
     echo "==> [extra] sanitizers"

@@ -69,6 +69,10 @@ ArtMem::init(memsim::TieredMachine& machine)
     migration_agent_->reset(config_.k, 0);
     threshold_agent_->reset(config_.k, no_delta_action);
 
+    // The engine attaches telemetry before init(); the agents only
+    // exist from here on, so the forwarding happens in both places.
+    attach_agent_telemetry();
+
     if (!pretrained_.empty()) {
         std::istringstream is(pretrained_);
         load_qtables(is);
@@ -87,6 +91,23 @@ ArtMem::init(memsim::TieredMachine& machine)
     last_migration_busy_ns_ = 0;
     fail_streak_.assign(pages, 0);
     retry_after_.assign(pages, 0);
+}
+
+void
+ArtMem::set_telemetry(telemetry::Telemetry* telemetry)
+{
+    Policy::set_telemetry(telemetry);
+    attach_agent_telemetry();
+}
+
+void
+ArtMem::attach_agent_telemetry()
+{
+    telemetry::TraceSink* sink = trace(telemetry::Category::kRl);
+    if (migration_agent_ != nullptr)
+        migration_agent_->set_telemetry(sink, "migration");
+    if (threshold_agent_ != nullptr)
+        threshold_agent_->set_telemetry(sink, "threshold");
 }
 
 void
@@ -115,6 +136,13 @@ ArtMem::on_samples(std::span<const memsim::PebsSample> samples)
         threshold_ = std::max(
             config_.min_threshold,
             bins_->capacity_threshold(m.capacity_pages(Tier::kFast)));
+        if (auto* t = trace(telemetry::Category::kThreshold)) {
+            t->instant(telemetry::Category::kThreshold, "reset",
+                       t->sim_time(),
+                       telemetry::Args()
+                           .add("threshold", threshold_)
+                           .str());
+        }
     }
 }
 
@@ -151,6 +179,13 @@ ArtMem::apply_threshold_action(int action)
     threshold_ = static_cast<std::uint32_t>(
         std::clamp<long long>(next, config_.min_threshold,
                               config_.max_threshold));
+    if (auto* t = trace(telemetry::Category::kThreshold)) {
+        t->instant(telemetry::Category::kThreshold, "move", t->sim_time(),
+                   telemetry::Args()
+                       .add("delta", delta)
+                       .add("threshold", threshold_)
+                       .str());
+    }
 }
 
 std::size_t
@@ -339,7 +374,6 @@ ArtMem::perform_migration(Bytes budget)
 void
 ArtMem::on_interval(SimTimeNs now)
 {
-    (void)now;
     auto& m = machine();
     ++periods_;
 
@@ -401,6 +435,26 @@ ArtMem::on_interval(SimTimeNs now)
             config_.min_threshold,
             bins_->capacity_threshold(m.capacity_pages(Tier::kFast)));
         budget = static_cast<Bytes>(2048) << 20;
+    }
+
+    if (auto* t = trace(telemetry::Category::kRl)) {
+        // The period's full state-action-reward record, emitted once
+        // the scope decision is fixed but before it executes.
+        t->instant(telemetry::Category::kRl, "decision", now,
+                   telemetry::Args()
+                       .add("state", tau.state)
+                       .add("reward", reward)
+                       .add("budget_mib", budget >> 20)
+                       .add("threshold", threshold_)
+                       .add("blind", blind ? 1 : 0)
+                       .str());
+    }
+    if (auto* reg = metrics()) {
+        reg->set(reg->gauge("artmem.threshold"),
+                 static_cast<double>(threshold_));
+        reg->set(reg->gauge("artmem.budget_mib"),
+                 static_cast<double>(budget >> 20));
+        reg->set(reg->gauge("artmem.reward"), reward);
     }
 
     last_budget_ = budget;

@@ -94,6 +94,7 @@ class ArtMem final : public policies::Policy
     void init(memsim::TieredMachine& machine) override;
     void on_samples(std::span<const memsim::PebsSample> samples) override;
     void on_interval(SimTimeNs now) override;
+    void set_telemetry(telemetry::Telemetry* telemetry) override;
 
     /** Hotness threshold currently in force. */
     std::uint32_t current_threshold() const { return threshold_; }
@@ -154,6 +155,7 @@ class ArtMem final : public policies::Policy
 
   private:
     int state_count() const { return config_.k + 2; }
+    void attach_agent_telemetry();
     double tau_for_reward(const stats::TauState& tau) const;
     double latency_tau() const;
     void apply_threshold_action(int action);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -285,14 +286,42 @@ bool
 FaultInjector::sample_suppressed(SimTimeNs now)
 {
     if (sampling_blackout(now)) {
+        if (trace_pebs_ != nullptr && !in_blackout_) [[unlikely]] {
+            in_blackout_ = true;
+            trace_pebs_->instant(telemetry::Category::kPebs,
+                                 "blackout_begin", now);
+        }
         ++suppressed_samples_;
         return true;
     }
+    if (trace_pebs_ != nullptr && in_blackout_) [[unlikely]] {
+        in_blackout_ = false;
+        trace_pebs_->instant(telemetry::Category::kPebs, "blackout_end",
+                             now);
+    }
     const bool dropped = config_.sample_drop_rate > 0.0 &&
                          draw() < config_.sample_drop_rate;
-    if (dropped)
+    if (dropped) {
         ++suppressed_samples_;
+        if (metrics_ != nullptr)
+            metrics_->add(drop_counter_);
+    }
     return dropped;
+}
+
+void
+FaultInjector::set_telemetry(telemetry::Telemetry* telemetry)
+{
+    trace_pebs_ = nullptr;
+    metrics_ = nullptr;
+    drop_counter_ = 0;
+    in_blackout_ = false;
+    if (telemetry == nullptr)
+        return;
+    trace_pebs_ = telemetry->trace(telemetry::Category::kPebs);
+    metrics_ = telemetry->metrics();
+    if (metrics_ != nullptr)
+        drop_counter_ = metrics_->counter("pebs.drop_suppressed");
 }
 
 std::size_t

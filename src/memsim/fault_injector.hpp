@@ -39,6 +39,12 @@
 #include "util/config.hpp"
 #include "util/types.hpp"
 
+namespace artmem::telemetry {
+class MetricsRegistry;
+class Telemetry;
+class TraceSink;
+}  // namespace artmem::telemetry
+
 namespace artmem::memsim {
 
 /** Static configuration of the four fault classes; defaults disable all. */
@@ -177,6 +183,14 @@ class FaultInjector
     /** Samples suppressed via sample_suppressed() (blackout or drop). */
     std::uint64_t suppressed_samples() const { return suppressed_samples_; }
 
+    /**
+     * Attach (or with nullptr detach) the run's telemetry: blackout
+     * window transitions become kPebs trace events and drop-burst
+     * suppressions a counter. Purely observational — the fault
+     * schedule and draw sequence are unchanged.
+     */
+    void set_telemetry(telemetry::Telemetry* telemetry);
+
   private:
     double draw();
     bool in_window(SimTimeNs now, SimTimeNs period, SimTimeNs duration,
@@ -191,6 +205,10 @@ class FaultInjector
     std::uint64_t transient_aborts_ = 0;
     std::uint64_t contended_hits_ = 0;
     std::uint64_t suppressed_samples_ = 0;
+    telemetry::TraceSink* trace_pebs_ = nullptr;
+    telemetry::MetricsRegistry* metrics_ = nullptr;
+    std::size_t drop_counter_ = 0;
+    bool in_blackout_ = false;  ///< Trace-only blackout edge detector.
 };
 
 }  // namespace artmem::memsim

@@ -1,5 +1,6 @@
 #include "memsim/tiered_machine.hpp"
 
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace artmem::memsim {
@@ -160,8 +161,16 @@ TieredMachine::account_migration(Tier src, Tier dst)
 }
 
 void
-TieredMachine::record_failure(MigrateStatus status)
+TieredMachine::record_failure(MigrateStatus status, PageId page)
 {
+    if (trace_migration_ != nullptr) [[unlikely]] {
+        trace_migration_->instant(
+            telemetry::Category::kMigration, "migrate_fail", now_,
+            telemetry::Args()
+                .add("page", page)
+                .add("reason", migrate_status_name(status))
+                .str());
+    }
     switch (status) {
     case MigrateStatus::kNoFreeSlot:
         ++totals_.failed_no_slot;
@@ -206,27 +215,27 @@ TieredMachine::migrate(PageId page, Tier dst)
     if (src == dst)
         return {MigrateStatus::kSameTier};
     if (faults_ != nullptr && faults_->page_pinned(page)) [[unlikely]] {
-        record_failure(MigrateStatus::kPagePinned);
+        record_failure(MigrateStatus::kPagePinned, page);
         return {MigrateStatus::kPagePinned};
     }
     const int d = static_cast<int>(dst);
     if (used_[d] >= capacity_[d]) {
-        record_failure(MigrateStatus::kNoFreeSlot);
+        record_failure(MigrateStatus::kNoFreeSlot, page);
         return {MigrateStatus::kNoFreeSlot};
     }
     if (faults_ != nullptr) [[unlikely]] {
         // Co-tenant pressure: the free slot exists but is reserved.
         if (reserved_pages(dst) > 0 && free_pages(dst) == 0) {
-            record_failure(MigrateStatus::kDstContended);
+            record_failure(MigrateStatus::kDstContended, page);
             return {MigrateStatus::kDstContended};
         }
         if (faults_->migration_transient_abort()) {
             charge_aborted_copy(src, dst);
-            record_failure(MigrateStatus::kCopyAborted);
+            record_failure(MigrateStatus::kCopyAborted, page);
             return {MigrateStatus::kCopyAborted};
         }
         if (faults_->migration_contended()) {
-            record_failure(MigrateStatus::kDstContended);
+            record_failure(MigrateStatus::kDstContended, page);
             return {MigrateStatus::kDstContended};
         }
     }
@@ -236,7 +245,17 @@ TieredMachine::migrate(PageId page, Tier dst)
         flags_[page] |= kTierBit;
     else
         flags_[page] &= static_cast<std::uint8_t>(~kTierBit);
+    const SimTimeNs start = now_;
     account_migration(src, dst);
+    if (trace_migration_ != nullptr) [[unlikely]] {
+        trace_migration_->complete(
+            telemetry::Category::kMigration,
+            dst == Tier::kFast ? "promote" : "demote", start, now_ - start,
+            telemetry::Args().add("page", page).str());
+    }
+    if (metrics_ != nullptr) [[unlikely]]
+        metrics_->observe(hist_migration_cost_,
+                          static_cast<double>(now_ - start));
     return {MigrateStatus::kOk};
 }
 
@@ -251,22 +270,23 @@ TieredMachine::exchange(PageId a, PageId b)
         return {MigrateStatus::kSameTier};
     if (faults_ != nullptr) [[unlikely]] {
         if (faults_->page_pinned(a) || faults_->page_pinned(b)) {
-            record_failure(MigrateStatus::kPagePinned);
+            record_failure(MigrateStatus::kPagePinned, a);
             return {MigrateStatus::kPagePinned};
         }
         if (faults_->migration_transient_abort()) {
             charge_aborted_copy(ta, tb);
-            record_failure(MigrateStatus::kCopyAborted);
+            record_failure(MigrateStatus::kCopyAborted, a);
             return {MigrateStatus::kCopyAborted};
         }
         if (faults_->migration_contended()) {
-            record_failure(MigrateStatus::kDstContended);
+            record_failure(MigrateStatus::kDstContended, a);
             return {MigrateStatus::kDstContended};
         }
     }
     flags_[a] ^= kTierBit;
     flags_[b] ^= kTierBit;
     // An exchange is two copies through a bounce buffer; charge both.
+    const SimTimeNs start = now_;
     const SimTimeNs busy = migration_cost(ta, tb) + migration_cost(tb, ta);
     totals_.migration_busy_ns += busy;
     window_.migration_busy_ns += busy;
@@ -274,6 +294,15 @@ TieredMachine::exchange(PageId a, PageId b)
         static_cast<double>(busy) * config_.migration_contention);
     ++totals_.exchanges;
     ++window_.exchanges;
+    if (trace_migration_ != nullptr) [[unlikely]] {
+        trace_migration_->complete(
+            telemetry::Category::kMigration, "exchange", start,
+            now_ - start,
+            telemetry::Args().add("a", a).add("b", b).str());
+    }
+    if (metrics_ != nullptr) [[unlikely]]
+        metrics_->observe(hist_migration_cost_,
+                          static_cast<double>(now_ - start));
     return {MigrateStatus::kOk};
 }
 
@@ -286,6 +315,34 @@ TieredMachine::install_faults(const FaultConfig& config)
         return;
     }
     faults_ = std::make_unique<FaultInjector>(config, capacity_[0]);
+    if (telemetry_ != nullptr)
+        faults_->set_telemetry(telemetry_);
+}
+
+void
+TieredMachine::set_telemetry(telemetry::Telemetry* telemetry)
+{
+    telemetry_ = telemetry;
+    trace_migration_ = nullptr;
+    metrics_ = nullptr;
+    hist_migration_cost_ = 0;
+    if (telemetry_ != nullptr) {
+        trace_migration_ =
+            telemetry_->trace(telemetry::Category::kMigration);
+        metrics_ = telemetry_->metrics();
+        if (metrics_ != nullptr) {
+            // Observes the application-time charge per migration: one
+            // 2 MiB page is ~110 µs of device time at the Table 2
+            // bandwidths, so ~27 µs at the default 0.25 contention;
+            // the upper buckets leave headroom for degradation windows
+            // and double-copy exchanges.
+            hist_migration_cost_ = metrics_->histogram(
+                "migration.cost_ns",
+                {25000.0, 50000.0, 100000.0, 200000.0, 400000.0});
+        }
+    }
+    if (faults_ != nullptr)
+        faults_->set_telemetry(telemetry_);
 }
 
 SimTimeNs

@@ -255,6 +255,15 @@ class TieredMachine
     }
 
     /**
+     * Attach (or with nullptr detach) the run's telemetry bundle:
+     * migrations and exchanges become kMigration trace events and a
+     * cost histogram, and the injector (if installed) gains its kPebs
+     * instrumentation. Observational only — no time charges, counters,
+     * or fault draws change, so instrumented runs stay bit-identical.
+     */
+    void set_telemetry(telemetry::Telemetry* telemetry);
+
+    /**
      * Bulk sequential transfer of @p length bytes from the tier, charged
      * at the tier's bandwidth (used by the MLC-style Table 2 microbench;
      * regular workload accesses go through access()).
@@ -354,7 +363,7 @@ class TieredMachine
     void allocate(PageId page);
     SimTimeNs migration_cost(Tier src, Tier dst) const;
     void account_migration(Tier src, Tier dst);
-    void record_failure(MigrateStatus status);
+    void record_failure(MigrateStatus status, PageId page);
     void charge_aborted_copy(Tier src, Tier dst);
 
     MachineConfig config_;
@@ -368,6 +377,11 @@ class TieredMachine
     FaultHandler fault_handler_;
     /** Null when fault-free (the default): zero-overhead fast path. */
     std::unique_ptr<FaultInjector> faults_;
+    /** Telemetry attachments; all null when telemetry is off. */
+    telemetry::Telemetry* telemetry_ = nullptr;
+    telemetry::TraceSink* trace_migration_ = nullptr;
+    telemetry::MetricsRegistry* metrics_ = nullptr;
+    std::size_t hist_migration_cost_ = 0;
 };
 
 }  // namespace artmem::memsim

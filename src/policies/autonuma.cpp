@@ -96,34 +96,41 @@ AutoNuma::demote_to_watermark()
 void
 AutoNuma::on_interval(SimTimeNs now)
 {
-    (void)now;
     auto& m = machine();
     if (promotion_backoff_ > 0)
         --promotion_backoff_;
     demote_to_watermark();
-    if (promotion_backoff_ > 0) {
-        promote_queue_.clear();
-        return;
-    }
     std::size_t promoted = 0;
-    for (PageId page : promote_queue_) {
-        if (promoted >= config_.promote_limit)
-            break;
-        if (!m.is_allocated(page) ||
-            m.tier_of(page) != memsim::Tier::kSlow) {
-            continue;
+    if (promotion_backoff_ == 0) {
+        for (PageId page : promote_queue_) {
+            if (promoted >= config_.promote_limit)
+                break;
+            if (!m.is_allocated(page) ||
+                m.tier_of(page) != memsim::Tier::kSlow) {
+                continue;
+            }
+            if (m.free_pages(memsim::Tier::kFast) == 0)
+                demote_to_watermark();
+            const auto result = m.migrate(page, memsim::Tier::kFast);
+            if (result.ok())
+                ++promoted;
+            else if (!result.faulted())
+                break;  // fast tier saturated and nothing demotable
+            // Injected faults (pinned page, aborted copy) only skip this
+            // page; the rest of the queue may still promote fine.
         }
-        if (m.free_pages(memsim::Tier::kFast) == 0)
-            demote_to_watermark();
-        const auto result = m.migrate(page, memsim::Tier::kFast);
-        if (result.ok())
-            ++promoted;
-        else if (!result.faulted())
-            break;  // fast tier saturated and nothing demotable
-        // Injected faults (pinned page, aborted copy) only skip this
-        // page; the rest of the queue may still promote fine.
     }
     promote_queue_.clear();
+    if (auto* t = trace(telemetry::Category::kMigration)) {
+        t->instant(telemetry::Category::kMigration, "policy_interval", now,
+                   telemetry::Args()
+                       .add("policy", name())
+                       .add("promoted",
+                            static_cast<std::uint64_t>(promoted))
+                       .add("backoff",
+                            static_cast<std::uint64_t>(promotion_backoff_))
+                       .str());
+    }
 }
 
 }  // namespace artmem::policies

@@ -88,7 +88,6 @@ AutoTiering::find_cold_fast_page()
 void
 AutoTiering::on_interval(SimTimeNs now)
 {
-    (void)now;
     auto& m = machine();
     std::size_t exchanged = 0;
     for (PageId page : exchange_queue_) {
@@ -120,6 +119,14 @@ AutoTiering::on_interval(SimTimeNs now)
     if (++interval_count_ % config_.decay_every == 0) {
         for (auto& c : fault_count_)
             c >>= 1;
+    }
+    if (auto* t = trace(telemetry::Category::kMigration)) {
+        t->instant(telemetry::Category::kMigration, "policy_interval", now,
+                   telemetry::Args()
+                       .add("policy", name())
+                       .add("exchanged",
+                            static_cast<std::uint64_t>(exchanged))
+                       .str());
     }
 }
 

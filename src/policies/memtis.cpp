@@ -25,12 +25,20 @@ Memtis::on_samples(std::span<const memsim::PebsSample> samples)
 void
 Memtis::on_interval(SimTimeNs now)
 {
-    (void)now;
     auto& m = machine();
+    const std::uint32_t old_threshold = threshold_;
     threshold_ = config_.manual_threshold > 0
                      ? config_.manual_threshold
                      : bins_->capacity_threshold(
                            m.capacity_pages(memsim::Tier::kFast));
+    if (threshold_ != old_threshold) {
+        if (auto* t = trace(telemetry::Category::kThreshold)) {
+            t->instant(telemetry::Category::kThreshold, "move", now,
+                       telemetry::Args()
+                           .add("threshold", threshold_)
+                           .str());
+        }
+    }
 
     // Promote everything at or above the threshold; demote cold pages
     // (lowest counts first) to make room. No scope control beyond the
@@ -84,6 +92,16 @@ Memtis::on_interval(SimTimeNs now)
             break;  // nothing cold to evict
         if (m.migrate(page, memsim::Tier::kFast))
             ++moved;
+    }
+    if (auto* t = trace(telemetry::Category::kMigration)) {
+        t->instant(telemetry::Category::kMigration, "policy_interval", now,
+                   telemetry::Args()
+                       .add("policy", name())
+                       .add("threshold", threshold_)
+                       .add("candidates",
+                            static_cast<std::uint64_t>(promote_.size()))
+                       .add("moved", static_cast<std::uint64_t>(moved))
+                       .str());
     }
 }
 

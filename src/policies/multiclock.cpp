@@ -87,7 +87,6 @@ MultiClock::sweep_fast_hand(std::size_t budget)
 void
 MultiClock::on_tick(SimTimeNs now)
 {
-    (void)now;
     auto& m = machine();
     promoted_this_tick_ = 0;
     const auto slow_budget = std::max<std::size_t>(
@@ -100,6 +99,18 @@ MultiClock::on_tick(SimTimeNs now)
                config_.hand_fraction));
     sweep_fast_hand(fast_budget);
     sweep_slow_hand(slow_budget);
+    // Sweeps run every tick; trace only the ones that moved pages.
+    if (promoted_this_tick_ > 0) {
+        if (auto* t = trace(telemetry::Category::kMigration)) {
+            t->instant(telemetry::Category::kMigration, "policy_tick", now,
+                       telemetry::Args()
+                           .add("policy", name())
+                           .add("promoted",
+                                static_cast<std::uint64_t>(
+                                    promoted_this_tick_))
+                           .str());
+        }
+    }
 }
 
 }  // namespace artmem::policies

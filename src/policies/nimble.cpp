@@ -16,7 +16,6 @@ Nimble::init(memsim::TieredMachine& machine)
 void
 Nimble::on_interval(SimTimeNs now)
 {
-    (void)now;
     if (++interval_count_ % config_.scan_every != 0)
         return;
     auto& m = machine();
@@ -62,14 +61,30 @@ Nimble::on_interval(SimTimeNs now)
                            ? promote_.size() -
                                  m.free_pages(memsim::Tier::kFast)
                            : 0;
+    std::size_t demoted = 0;
     for (PageId page : demote_) {
         if (need == 0)
             break;
-        if (m.migrate(page, memsim::Tier::kSlow))
+        if (m.migrate(page, memsim::Tier::kSlow)) {
             --need;
+            ++demoted;
+        }
     }
-    for (PageId page : promote_)
-        m.migrate(page, memsim::Tier::kFast);
+    std::size_t promoted = 0;
+    for (PageId page : promote_) {
+        if (m.migrate(page, memsim::Tier::kFast))
+            ++promoted;
+    }
+    if (auto* t = trace(telemetry::Category::kMigration)) {
+        t->instant(telemetry::Category::kMigration, "policy_interval", now,
+                   telemetry::Args()
+                       .add("policy", name())
+                       .add("promoted",
+                            static_cast<std::uint64_t>(promoted))
+                       .add("demoted",
+                            static_cast<std::uint64_t>(demoted))
+                       .str());
+    }
 }
 
 }  // namespace artmem::policies

@@ -24,6 +24,7 @@
 
 #include "memsim/pebs.hpp"
 #include "memsim/tiered_machine.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/types.hpp"
 
 namespace artmem::policies {
@@ -66,6 +67,16 @@ class Policy
     /** Migration/decision interval; issue migrations here. */
     virtual void on_interval(SimTimeNs now) { (void)now; }
 
+    /**
+     * Attach (or with nullptr detach) the run's telemetry bundle; the
+     * engine calls this before init(). Overrides that forward it to
+     * owned components must call the base implementation first.
+     */
+    virtual void set_telemetry(telemetry::Telemetry* telemetry)
+    {
+        telemetry_ = telemetry;
+    }
+
   protected:
     /** The machine this policy is attached to; panics if detached. */
     memsim::TieredMachine&
@@ -84,8 +95,25 @@ class Policy
     /** True once init() ran. */
     bool attached() const { return machine_ != nullptr; }
 
+    /** The attached telemetry bundle, or nullptr when telemetry is off. */
+    telemetry::Telemetry* telemetry() { return telemetry_; }
+
+    /** Sink for @p cat, or nullptr — the branch-on-null idiom every
+     *  instrumentation site uses (zero cost when telemetry is off). */
+    telemetry::TraceSink* trace(telemetry::Category cat)
+    {
+        return telemetry_ != nullptr ? telemetry_->trace(cat) : nullptr;
+    }
+
+    /** Metrics shard, or nullptr when metrics collection is off. */
+    telemetry::MetricsRegistry* metrics()
+    {
+        return telemetry_ != nullptr ? telemetry_->metrics() : nullptr;
+    }
+
   private:
     memsim::TieredMachine* machine_ = nullptr;
+    telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace artmem::policies

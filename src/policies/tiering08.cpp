@@ -85,7 +85,6 @@ Tiering08::demote_to_watermark()
 void
 Tiering08::on_interval(SimTimeNs now)
 {
-    (void)now;
     auto& m = machine();
 
     // Workload-change detection from the sampled fast-tier hit ratio.
@@ -142,6 +141,16 @@ Tiering08::on_interval(SimTimeNs now)
     if (++interval_count_ % config_.decay_every == 0) {
         for (auto& c : fault_count_)
             c >>= 1;
+    }
+    if (auto* t = trace(telemetry::Category::kMigration)) {
+        t->instant(telemetry::Category::kMigration, "policy_interval", now,
+                   telemetry::Args()
+                       .add("policy", name())
+                       .add("threshold", threshold_)
+                       .add("demand", static_cast<std::uint64_t>(demand))
+                       .add("promoted",
+                            static_cast<std::uint64_t>(promoted))
+                       .str());
     }
 }
 

@@ -109,7 +109,20 @@ Tpp::demote_to_watermark()
 void
 Tpp::on_tick(SimTimeNs now)
 {
-    (void)now;
+    // Promotions happen in the hint-fault handler between ticks; the
+    // tick closes that window, so report it here (and only when pages
+    // actually moved — hint-fault ticks are frequent).
+    if (promoted_this_tick_ > 0) {
+        if (auto* t = trace(telemetry::Category::kMigration)) {
+            t->instant(telemetry::Category::kMigration, "policy_tick", now,
+                       telemetry::Args()
+                           .add("policy", name())
+                           .add("promoted",
+                                static_cast<std::uint64_t>(
+                                    promoted_this_tick_))
+                           .str());
+        }
+    }
     promoted_this_tick_ = 0;
     if (promotion_backoff_ > 0)
         --promotion_backoff_;

@@ -1,5 +1,6 @@
 #include "rl/agent.hpp"
 
+#include "telemetry/trace.hpp"
 #include "util/logging.hpp"
 
 namespace artmem::rl {
@@ -45,6 +46,19 @@ TdAgent::step(double reward, int new_state)
         double& q = table_.at(prev_state_, prev_action_);
         q += config_.alpha * (reward + config_.gamma * future - q);
         ++updates_;
+        if (trace_ != nullptr) [[unlikely]] {
+            trace_->instant(
+                telemetry::Category::kRl, "q_update", trace_->sim_time(),
+                telemetry::Args()
+                    .add("agent", label_)
+                    .add("s", prev_state_)
+                    .add("a", prev_action_)
+                    .add("r", reward)
+                    .add("s2", new_state)
+                    .add("a2", next_action)
+                    .add("q", q)
+                    .str());
+        }
     }
     prev_state_ = new_state;
     prev_action_ = next_action;
@@ -63,6 +77,13 @@ TdAgent::clear_history()
 {
     prev_state_ = -1;
     prev_action_ = -1;
+}
+
+void
+TdAgent::set_telemetry(telemetry::TraceSink* sink, std::string label)
+{
+    trace_ = sink;
+    label_ = std::move(label);
 }
 
 void

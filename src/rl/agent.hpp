@@ -11,9 +11,14 @@
 #define ARTMEM_RL_AGENT_HPP
 
 #include <cmath>
+#include <string>
 
 #include "rl/qtable.hpp"
 #include "util/rng.hpp"
+
+namespace artmem::telemetry {
+class TraceSink;
+}  // namespace artmem::telemetry
 
 namespace artmem::rl {
 
@@ -88,6 +93,15 @@ class TdAgent
     /** TD updates performed so far. */
     std::uint64_t updates() const { return updates_; }
 
+    /**
+     * Attach a trace sink for kRl "q_update" events (nullptr detaches).
+     * @p label names the agent in the event args ("migration" /
+     * "threshold"). Events are stamped with the sink's simulated-time
+     * cursor, which the engine advances at tick/decision edges — the
+     * agent itself has no clock.
+     */
+    void set_telemetry(telemetry::TraceSink* sink, std::string label);
+
   private:
     QTable table_;
     AgentConfig config_;
@@ -95,6 +109,8 @@ class TdAgent
     int prev_state_ = -1;
     int prev_action_ = -1;
     std::uint64_t updates_ = 0;
+    telemetry::TraceSink* trace_ = nullptr;
+    std::string label_;
 };
 
 }  // namespace artmem::rl

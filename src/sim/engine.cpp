@@ -26,6 +26,38 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
     }
     machine.install_faults(config.faults);
     memsim::FaultInjector* faults = machine.fault_injector();
+
+    // Per-run telemetry bundle; every cached pointer below stays null
+    // when the corresponding collector is off, so instrumentation
+    // sites reduce to one branch on a null pointer.
+    std::shared_ptr<telemetry::Telemetry> telem;
+    telemetry::TraceSink* trace_engine = nullptr;
+    telemetry::TraceSink* sink = nullptr;
+    telemetry::MetricsRegistry* metrics = nullptr;
+    telemetry::PhaseProfiler* profiler = nullptr;
+    if (config.telemetry.any()) {
+        telem = std::make_shared<telemetry::Telemetry>(config.telemetry);
+        machine.set_telemetry(telem.get());
+        policy.set_telemetry(telem.get());
+        trace_engine = telem->trace(telemetry::Category::kEngine);
+        sink = telem->sink();
+        metrics = telem->metrics();
+        profiler = telem->profiler();
+    }
+    telemetry::MetricsRegistry::Id ctr_ticks = 0;
+    telemetry::MetricsRegistry::Id ctr_decisions = 0;
+    telemetry::MetricsRegistry::Id ctr_drained = 0;
+    telemetry::MetricsRegistry::Id hist_drain = 0;
+    telemetry::MetricsRegistry::Id gauge_fast = 0;
+    if (metrics != nullptr) {
+        ctr_ticks = metrics->counter("engine.ticks");
+        ctr_decisions = metrics->counter("engine.decisions");
+        ctr_drained = metrics->counter("pebs.drained");
+        hist_drain = metrics->histogram(
+            "pebs.drain_batch", {0.0, 64.0, 256.0, 1024.0, 4096.0});
+        gauge_fast = metrics->gauge("engine.fast_ratio");
+    }
+
     policy.init(machine);
     memsim::PebsSampler sampler(config.pebs);
     std::uint64_t pebs_suppressed = 0;
@@ -53,32 +85,80 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
     std::uint64_t interval_start_accesses = 0;
 
     auto flush_tick = [&]() {
+        telemetry::PhaseTimer timer(profiler, telemetry::Phase::kTick);
+        if (sink != nullptr)
+            sink->set_sim_time(machine.now());
+        const SimTimeNs tick_start = machine.now();
         drained.clear();
         sampler.drain(drained, static_cast<std::size_t>(-1));
         if (!drained.empty())
             policy.on_samples(drained);
         policy.on_tick(machine.now());
+        if (metrics != nullptr) {
+            metrics->add(ctr_ticks);
+            metrics->add(ctr_drained, drained.size());
+            metrics->observe(hist_drain,
+                             static_cast<double>(drained.size()));
+        }
+        if (trace_engine != nullptr) {
+            trace_engine->complete(
+                telemetry::Category::kEngine, "tick", tick_start,
+                machine.now() - tick_start,
+                telemetry::Args()
+                    .add("drained",
+                         static_cast<std::uint64_t>(drained.size()))
+                    .str());
+        }
     };
 
     auto flush_decision = [&]() {
-        policy.on_interval(machine.now());
+        if (sink != nullptr)
+            sink->set_sim_time(machine.now());
+        const SimTimeNs decision_start = machine.now();
+        {
+            telemetry::PhaseTimer timer(profiler,
+                                        telemetry::Phase::kDecision);
+            policy.on_interval(machine.now());
+        }
         const auto window = machine.take_window();
-        if (config.record_timeline) {
-            interval.end_time = machine.now();
-            interval.accesses = result.accesses - interval_start_accesses;
-            interval.fast_ratio = window.fast_ratio();
-            interval.promoted = window.promoted_pages;
-            interval.demoted = window.demoted_pages;
-            interval.exchanges = window.exchanges;
-            interval.failed_migrations = window.migration_failures();
-            interval.sampling_blackout =
-                faults != nullptr &&
-                faults->sampling_blackout(machine.now());
+        // One IntervalRecord per interval, consumed by both the
+        // timeline (Figures 12/17) and the kEngine "decision" trace
+        // event — a single observation, two serializations.
+        interval.end_time = machine.now();
+        interval.accesses = result.accesses - interval_start_accesses;
+        interval.fast_ratio = window.fast_ratio();
+        interval.promoted = window.promoted_pages;
+        interval.demoted = window.demoted_pages;
+        interval.exchanges = window.exchanges;
+        interval.failed_migrations = window.migration_failures();
+        interval.sampling_blackout =
+            faults != nullptr && faults->sampling_blackout(machine.now());
+        if (config.record_timeline)
             result.timeline.push_back(interval);
+        if (metrics != nullptr) {
+            metrics->add(ctr_decisions);
+            metrics->set(gauge_fast, interval.fast_ratio);
+        }
+        if (trace_engine != nullptr) {
+            trace_engine->complete(
+                telemetry::Category::kEngine, "decision", decision_start,
+                machine.now() - decision_start,
+                telemetry::Args()
+                    .add("accesses", interval.accesses)
+                    .add("fast_ratio", interval.fast_ratio)
+                    .add("promoted", interval.promoted)
+                    .add("demoted", interval.demoted)
+                    .add("exchanges", interval.exchanges)
+                    .add("failed", interval.failed_migrations)
+                    .add("blackout",
+                         interval.sampling_blackout ? "yes" : "no")
+                    .str());
         }
         interval_start_accesses = result.accesses;
 #if ARTMEM_CHECK_INVARIANTS
         if (check_invariants) {
+            telemetry::PhaseTimer audit_timer(profiler,
+                                              telemetry::Phase::kAudit);
             checker.audit(machine, policy, pebs_suppressed);
             result.invariant_audits = checker.audits();
         }
@@ -88,21 +168,31 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
     };
 
     while (true) {
-        const std::size_t n = gen.fill(batch);
+        std::size_t n = 0;
+        {
+            telemetry::PhaseTimer timer(profiler,
+                                        telemetry::Phase::kGenerate);
+            n = gen.fill(batch);
+        }
         if (n == 0)
             break;
-        if (faults == nullptr) {
-            for (std::size_t i = 0; i < n; ++i) {
-                const memsim::Tier tier = machine.access(batch[i]);
-                sampler.observe(batch[i], tier);
-            }
-        } else {
-            for (std::size_t i = 0; i < n; ++i) {
-                const memsim::Tier tier = machine.access(batch[i]);
-                if (faults->sample_suppressed(machine.now())) [[unlikely]]
-                    ++pebs_suppressed;
-                else
+        {
+            telemetry::PhaseTimer timer(profiler,
+                                        telemetry::Phase::kAccess);
+            if (faults == nullptr) {
+                for (std::size_t i = 0; i < n; ++i) {
+                    const memsim::Tier tier = machine.access(batch[i]);
                     sampler.observe(batch[i], tier);
+                }
+            } else {
+                for (std::size_t i = 0; i < n; ++i) {
+                    const memsim::Tier tier = machine.access(batch[i]);
+                    if (faults->sample_suppressed(machine.now()))
+                        [[unlikely]]
+                        ++pebs_suppressed;
+                    else
+                        sampler.observe(batch[i], tier);
+                }
             }
         }
         result.accesses += n;
@@ -131,6 +221,45 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
     result.pebs_recorded = sampler.recorded();
     result.pebs_dropped = sampler.dropped();
     result.pebs_suppressed = pebs_suppressed;
+
+    if (metrics != nullptr) {
+        // Mirror the run's aggregate counters into the registry so a
+        // metrics file is self-contained (registration order fixes the
+        // emission order).
+        const auto mirror = [&](std::string_view mname,
+                                std::uint64_t value) {
+            metrics->add(metrics->counter(mname), value);
+        };
+        mirror("engine.accesses", result.accesses);
+        mirror("engine.runtime_ns", result.runtime_ns);
+        mirror("engine.invariant_audits", result.invariant_audits);
+        mirror("machine.accesses_fast", result.totals.accesses[0]);
+        mirror("machine.accesses_slow", result.totals.accesses[1]);
+        mirror("machine.hint_faults", result.totals.hint_faults);
+        mirror("machine.promoted_pages", result.totals.promoted_pages);
+        mirror("machine.demoted_pages", result.totals.demoted_pages);
+        mirror("machine.exchanges", result.totals.exchanges);
+        mirror("machine.failed_no_slot", result.totals.failed_no_slot);
+        mirror("machine.failed_pinned", result.totals.failed_pinned);
+        mirror("machine.failed_transient", result.totals.failed_transient);
+        mirror("machine.failed_contended", result.totals.failed_contended);
+        mirror("machine.migration_busy_ns",
+               result.totals.migration_busy_ns);
+        mirror("machine.overhead_ns", result.totals.overhead_ns);
+        mirror("machine.aborted_migration_ns",
+               result.totals.aborted_migration_ns);
+        mirror("pebs.recorded", result.pebs_recorded);
+        mirror("pebs.dropped", result.pebs_dropped);
+        mirror("pebs.suppressed", result.pebs_suppressed);
+    }
+    if (telem != nullptr) {
+        // Detach before returning: the machine and policy may outlive
+        // the bundle's consumers, and a detached run is back on the
+        // bare fast path.
+        machine.set_telemetry(nullptr);
+        policy.set_telemetry(nullptr);
+        result.telemetry = std::move(telem);
+    }
     return result;
 }
 

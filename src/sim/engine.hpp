@@ -13,11 +13,13 @@
 #ifndef ARTMEM_SIM_ENGINE_HPP
 #define ARTMEM_SIM_ENGINE_HPP
 
+#include <memory>
 #include <vector>
 
 #include "memsim/pebs.hpp"
 #include "memsim/tiered_machine.hpp"
 #include "policies/policy.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workloads/generator.hpp"
 
 namespace artmem::sim {
@@ -59,9 +61,24 @@ struct EngineConfig {
      * verify::InvariantViolation out of run_simulation().
      */
     bool check_invariants = false;
+    /**
+     * Telemetry switches (telemetry/telemetry.hpp). All off by default;
+     * when any is on the engine creates a per-run Telemetry bundle,
+     * attaches it to the machine, injector, and policy, and returns it
+     * in RunResult::telemetry. Collection is strictly observational:
+     * it never advances simulated time, draws randomness, or reorders
+     * work, so an instrumented run is bit-identical to a bare one.
+     */
+    telemetry::TelemetryConfig telemetry;
 };
 
-/** One decision interval's ground-truth observation. */
+/**
+ * One decision interval's ground-truth observation. This is the
+ * engine's per-interval telemetry record: the same struct feeds both
+ * the RunResult timeline (Figures 12 and 17) and the kEngine
+ * "decision" trace event, so the two outputs can never drift apart
+ * (DESIGN.md §8).
+ */
 struct IntervalRecord {
     SimTimeNs end_time = 0;           ///< Simulated time at interval end.
     std::uint64_t accesses = 0;       ///< Accesses inside the interval.
@@ -84,6 +101,8 @@ struct RunResult {
     std::uint64_t pebs_suppressed = 0;    ///< Samples lost to injected faults.
     std::uint64_t invariant_audits = 0;   ///< Audits run (check_invariants).
     std::vector<IntervalRecord> timeline; ///< If record_timeline.
+    /** The run's collectors (null unless EngineConfig::telemetry.any()). */
+    std::shared_ptr<telemetry::Telemetry> telemetry;
 
     /** Runtime in seconds. */
     double seconds() const

@@ -1,0 +1,58 @@
+#include "sweep/telemetry_merge.hpp"
+
+#include <ostream>
+
+namespace artmem::sweep {
+
+telemetry::MetricsRegistry
+merge_job_metrics(const std::vector<sim::RunResult>& results)
+{
+    telemetry::MetricsRegistry merged;
+    for (const auto& result : results) {
+        if (result.telemetry)
+            merged.merge(result.telemetry->metrics_registry());
+    }
+    return merged;
+}
+
+telemetry::PhaseProfiler
+merge_job_profiles(const std::vector<sim::RunResult>& results)
+{
+    telemetry::PhaseProfiler merged;
+    for (const auto& result : results) {
+        if (result.telemetry)
+            merged.merge(result.telemetry->phase_profiler());
+    }
+    return merged;
+}
+
+void
+write_merged_jsonl(std::ostream& os,
+                   const std::vector<sim::RunResult>& results)
+{
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& result = results[i];
+        if (result.telemetry == nullptr)
+            continue;
+        if (const auto* sink = result.telemetry->sink())
+            sink->write_jsonl(os, static_cast<int>(i));
+    }
+}
+
+void
+write_merged_chrome(std::ostream& os,
+                    const std::vector<sim::RunResult>& results)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& result = results[i];
+        if (result.telemetry == nullptr)
+            continue;
+        if (const auto* sink = result.telemetry->sink())
+            sink->append_chrome_events(os, static_cast<int>(i), first);
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace artmem::sweep

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The per-run telemetry bundle (DESIGN.md §8): configuration plus the
+ * three collectors — MetricsRegistry, TraceSink, PhaseProfiler — that
+ * one simulation job owns. Everything is off by default; when off,
+ * every accessor returns nullptr so instrumentation sites reduce to a
+ * branch on a null pointer (the zero-cost contract, measured by
+ * bench_overheads).
+ */
+#ifndef ARTMEM_TELEMETRY_TELEMETRY_HPP
+#define ARTMEM_TELEMETRY_TELEMETRY_HPP
+
+#include <memory>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/phase_timer.hpp"
+#include "telemetry/trace.hpp"
+
+namespace artmem::telemetry {
+
+/** Pure-value telemetry switches, copied through RunSpec/SweepJob. */
+struct TelemetryConfig {
+    bool metrics = false;              ///< Collect the metrics registry.
+    std::uint32_t trace_categories = 0;  ///< Category bitmask (0 = off).
+    bool profile = false;              ///< Wall-clock phase profiling.
+
+    bool any() const
+    {
+        return metrics || trace_categories != 0 || profile;
+    }
+};
+
+/** Collectors for one run; created by the engine when config.any(). */
+class Telemetry
+{
+  public:
+    explicit Telemetry(const TelemetryConfig& config) : config_(config)
+    {
+        if (config_.trace_categories != 0)
+            sink_ = std::make_unique<TraceSink>(config_.trace_categories);
+    }
+
+    const TelemetryConfig& config() const { return config_; }
+
+    /** Metrics shard, or nullptr when metrics collection is off. */
+    MetricsRegistry* metrics()
+    {
+        return config_.metrics ? &metrics_ : nullptr;
+    }
+    const MetricsRegistry& metrics_registry() const { return metrics_; }
+
+    /** Sink if @p cat is enabled, else nullptr (per-site cached). */
+    TraceSink* trace(Category cat)
+    {
+        return sink_ != nullptr && sink_->enabled(cat) ? sink_.get()
+                                                       : nullptr;
+    }
+
+    /** The whole sink (serialization), or nullptr when tracing is off. */
+    TraceSink* sink() { return sink_.get(); }
+    const TraceSink* sink() const { return sink_.get(); }
+
+    /** Profiler, or nullptr when --profile was not given. */
+    PhaseProfiler* profiler()
+    {
+        return config_.profile ? &profiler_ : nullptr;
+    }
+    const PhaseProfiler& phase_profiler() const { return profiler_; }
+
+  private:
+    TelemetryConfig config_;
+    MetricsRegistry metrics_;
+    std::unique_ptr<TraceSink> sink_;
+    PhaseProfiler profiler_;
+};
+
+}  // namespace artmem::telemetry
+
+#endif  // ARTMEM_TELEMETRY_TELEMETRY_HPP

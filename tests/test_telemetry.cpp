@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Tests for the deterministic telemetry subsystem (DESIGN.md §8):
+ * MetricsRegistry semantics and shard merging, the TraceSink's two
+ * serializations (golden JSONL bytes + structurally valid Chrome
+ * trace JSON), category filtering, the observational-invariance
+ * contract (an instrumented run is bit-identical to a bare one), and
+ * byte-identity of merged sweep telemetry across --jobs 1 vs --jobs 4.
+ */
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "sweep/sweep.hpp"
+#include "sweep/telemetry_merge.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/phase_timer.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using namespace artmem;
+using telemetry::Category;
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesHistograms)
+{
+    telemetry::MetricsRegistry reg;
+    const auto c = reg.counter("engine.ticks");
+    reg.add(c);
+    reg.add(c, 4);
+    EXPECT_EQ(reg.counter_value("engine.ticks"), 5u);
+    EXPECT_EQ(reg.counter_value("no.such.metric"), 0u);
+
+    const auto g = reg.gauge("fast_ratio");
+    reg.set(g, 0.25);
+    reg.set(g, 0.75);
+    const auto* stats = reg.gauge_stats("fast_ratio");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->count(), 2u);
+    EXPECT_DOUBLE_EQ(stats->min(), 0.25);
+    EXPECT_DOUBLE_EQ(stats->max(), 0.75);
+    EXPECT_EQ(reg.gauge_stats("absent"), nullptr);
+
+    const auto h = reg.histogram("cost", {10.0, 100.0});
+    reg.observe(h, 5.0);     // bucket <= 10
+    reg.observe(h, 10.0);    // inclusive upper bound
+    reg.observe(h, 50.0);    // bucket <= 100
+    reg.observe(h, 5000.0);  // overflow bucket
+    EXPECT_EQ(reg.histogram_count("cost"), 4u);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotent)
+{
+    telemetry::MetricsRegistry reg;
+    const auto a = reg.counter("x");
+    const auto b = reg.counter("x");
+    EXPECT_EQ(a, b);
+    reg.add(a);
+    reg.add(b);
+    EXPECT_EQ(reg.counter_value("x"), 2u);
+}
+
+TEST(MetricsRegistry, KindMismatchPanics)
+{
+    telemetry::MetricsRegistry reg;
+    reg.counter("m");
+    EXPECT_DEATH(reg.gauge("m"), "");
+}
+
+TEST(MetricsRegistry, MergeAddsAndAppends)
+{
+    telemetry::MetricsRegistry a;
+    const auto ac = a.counter("shared");
+    a.add(ac, 3);
+
+    telemetry::MetricsRegistry b;
+    const auto bc = b.counter("shared");
+    b.add(bc, 4);
+    const auto bo = b.counter("only_in_b");
+    b.add(bo, 7);
+    const auto bh = b.histogram("h", {1.0});
+    b.observe(bh, 0.5);
+
+    a.merge(b);
+    EXPECT_EQ(a.counter_value("shared"), 7u);
+    EXPECT_EQ(a.counter_value("only_in_b"), 7u);
+    EXPECT_EQ(a.histogram_count("h"), 1u);
+}
+
+TEST(MetricsRegistry, MergeEmptyGaugeShardKeepsExtrema)
+{
+    // A shard that registered a gauge but never set it must not poison
+    // the merged min/max with its zero-initialized state (the
+    // OnlineStats empty-merge contract, exercised at registry level).
+    telemetry::MetricsRegistry a;
+    const auto ag = a.gauge("g");
+    a.set(ag, -5.0);
+    a.set(ag, -2.0);
+
+    telemetry::MetricsRegistry never_set;
+    never_set.gauge("g");
+
+    a.merge(never_set);
+    const auto* stats = a.gauge_stats("g");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->count(), 2u);
+    EXPECT_DOUBLE_EQ(stats->min(), -5.0);
+    EXPECT_DOUBLE_EQ(stats->max(), -2.0);
+
+    // The other direction: merging a populated shard into an empty
+    // registry adopts the shard's statistics unchanged.
+    telemetry::MetricsRegistry empty;
+    empty.gauge("g");
+    empty.merge(a);
+    const auto* adopted = empty.gauge_stats("g");
+    ASSERT_NE(adopted, nullptr);
+    EXPECT_EQ(adopted->count(), 2u);
+    EXPECT_DOUBLE_EQ(adopted->max(), -2.0);
+}
+
+TEST(MetricsRegistry, WriteJsonIsDeterministic)
+{
+    const auto build = [] {
+        telemetry::MetricsRegistry reg;
+        reg.add(reg.counter("c"), 2);
+        reg.set(reg.gauge("g"), 1.5);
+        reg.observe(reg.histogram("h", {1.0, 2.0}), 1.25);
+        std::ostringstream os;
+        reg.write_json(os);
+        return os.str();
+    };
+    const std::string once = build();
+    EXPECT_EQ(once, build());
+    EXPECT_NE(once.find("\"counters\""), std::string::npos);
+    EXPECT_NE(once.find("\"c\": 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Args / categories
+// ---------------------------------------------------------------------
+
+TEST(TraceArgs, BuildsEscapedJson)
+{
+    EXPECT_EQ(telemetry::Args().str(), "{}");
+    const std::string json = telemetry::Args()
+                                 .add("n", std::uint64_t{7})
+                                 .add("d", std::int64_t{-3})
+                                 .add("s", "a\"b")
+                                 .str();
+    EXPECT_EQ(json, "{\"n\":7,\"d\":-3,\"s\":\"a\\\"b\"}");
+}
+
+TEST(TraceCategories, ParseAndNames)
+{
+    EXPECT_EQ(telemetry::parse_categories("all"), telemetry::kAllCategories);
+    EXPECT_EQ(telemetry::parse_categories("none"), 0u);
+    EXPECT_EQ(telemetry::parse_categories(""), 0u);
+    EXPECT_EQ(telemetry::parse_categories("engine"),
+              static_cast<std::uint32_t>(Category::kEngine));
+    EXPECT_EQ(telemetry::parse_categories("rl,threshold"),
+              static_cast<std::uint32_t>(Category::kRl) |
+                  static_cast<std::uint32_t>(Category::kThreshold));
+    EXPECT_EQ(telemetry::category_name(Category::kPebs), "pebs");
+    EXPECT_EQ(telemetry::category_track(Category::kMigration), 1u);
+    EXPECT_EXIT(telemetry::parse_categories("bogus"),
+                ::testing::ExitedWithCode(1), "unknown trace category");
+}
+
+// ---------------------------------------------------------------------
+// TraceSink serialization goldens
+// ---------------------------------------------------------------------
+
+TEST(TraceSink, GoldenJsonl)
+{
+    telemetry::TraceSink sink(telemetry::kAllCategories);
+    sink.instant(Category::kThreshold, "move", 1500,
+                 telemetry::Args().add("delta", std::int64_t{-8}).str());
+    sink.complete(Category::kMigration, "promote", 1000, 27500,
+                  telemetry::Args().add("page", std::uint64_t{7}).str());
+    std::ostringstream os;
+    sink.write_jsonl(os);
+    EXPECT_EQ(os.str(),
+              "{\"ts\":1500,\"cat\":\"threshold\",\"ph\":\"i\","
+              "\"name\":\"move\",\"args\":{\"delta\":-8}}\n"
+              "{\"ts\":1000,\"cat\":\"migration\",\"ph\":\"X\","
+              "\"name\":\"promote\",\"dur\":27500,\"args\":{\"page\":7}}\n");
+
+    std::ostringstream tagged;
+    sink.write_jsonl(tagged, 3);
+    EXPECT_EQ(tagged.str().substr(0, 9), "{\"job\":3,");
+}
+
+TEST(TraceSink, GoldenChrome)
+{
+    telemetry::TraceSink sink(
+        static_cast<std::uint32_t>(Category::kMigration));
+    sink.complete(Category::kMigration, "promote", 1000, 27500,
+                  telemetry::Args().add("page", std::uint64_t{7}).str());
+    std::ostringstream os;
+    sink.write_chrome(os);
+    EXPECT_EQ(os.str(),
+              "{\"traceEvents\":[\n"
+              "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+              "\"args\":{\"name\":\"migration\"}},\n"
+              "{\"name\":\"promote\",\"cat\":\"migration\",\"ph\":\"X\","
+              "\"ts\":1.000,\"dur\":27.500,\"pid\":0,\"tid\":1,"
+              "\"args\":{\"page\":7}}\n"
+              "],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+// ---------------------------------------------------------------------
+// Engine integration
+// ---------------------------------------------------------------------
+
+/** A small seeded run covering a couple of decision intervals. */
+sim::RunSpec
+small_spec()
+{
+    sim::RunSpec spec;
+    spec.workload = "ycsb";
+    spec.policy = "artmem";
+    spec.ratio = {1, 4};
+    spec.accesses = 120000;
+    spec.seed = 42;
+    return spec;
+}
+
+std::string
+jsonl_of(const sim::RunResult& r)
+{
+    std::ostringstream os;
+    r.telemetry->sink()->write_jsonl(os);
+    return os.str();
+}
+
+/**
+ * Minimal structural JSON check: balanced braces/brackets outside
+ * string literals, ending at depth zero (CI additionally validates
+ * real runs with python3 -m json.tool).
+ */
+bool
+json_balanced(const std::string& text)
+{
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (const char c : text) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+TEST(TelemetryEngine, SeededRunTraceIsByteIdentical)
+{
+    auto spec = small_spec();
+    spec.engine.telemetry.metrics = true;
+    spec.engine.telemetry.trace_categories = telemetry::kAllCategories;
+
+    const auto r1 = sim::run_experiment(spec);
+    const auto r2 = sim::run_experiment(spec);
+    ASSERT_NE(r1.telemetry, nullptr);
+    ASSERT_NE(r2.telemetry, nullptr);
+
+    EXPECT_GT(r1.telemetry->sink()->event_count(), 0u);
+    EXPECT_EQ(jsonl_of(r1), jsonl_of(r2));
+
+    std::ostringstream c1, c2;
+    r1.telemetry->sink()->write_chrome(c1);
+    r2.telemetry->sink()->write_chrome(c2);
+    EXPECT_EQ(c1.str(), c2.str());
+    EXPECT_TRUE(json_balanced(c1.str()));
+
+    std::ostringstream m1, m2;
+    r1.telemetry->metrics_registry().write_json(m1);
+    r2.telemetry->metrics_registry().write_json(m2);
+    EXPECT_EQ(m1.str(), m2.str());
+    EXPECT_TRUE(json_balanced(m1.str()));
+    EXPECT_EQ(r1.telemetry->metrics_registry().counter_value(
+                  "engine.accesses"),
+              spec.accesses);
+}
+
+TEST(TelemetryEngine, InstrumentationIsObservational)
+{
+    // Telemetry on (everything) must not change a single simulated
+    // number relative to the bare run.
+    const auto bare = sim::run_experiment(small_spec());
+    auto spec = small_spec();
+    spec.engine.telemetry.metrics = true;
+    spec.engine.telemetry.trace_categories = telemetry::kAllCategories;
+    spec.engine.telemetry.profile = true;
+    const auto instr = sim::run_experiment(spec);
+
+    EXPECT_EQ(bare.runtime_ns, instr.runtime_ns);
+    EXPECT_EQ(bare.accesses, instr.accesses);
+    EXPECT_DOUBLE_EQ(bare.fast_ratio, instr.fast_ratio);
+    EXPECT_EQ(bare.totals.promoted_pages, instr.totals.promoted_pages);
+    EXPECT_EQ(bare.totals.demoted_pages, instr.totals.demoted_pages);
+    EXPECT_EQ(bare.pebs_recorded, instr.pebs_recorded);
+}
+
+TEST(TelemetryEngine, CategoryFilteringDropsDisabledEvents)
+{
+    auto spec = small_spec();
+    spec.engine.telemetry.trace_categories =
+        telemetry::parse_categories("rl,threshold");
+    const auto r = sim::run_experiment(spec);
+    ASSERT_NE(r.telemetry, nullptr);
+    const auto* sink = r.telemetry->sink();
+    ASSERT_NE(sink, nullptr);
+    EXPECT_GT(sink->event_count(), 0u);
+    EXPECT_FALSE(sink->enabled(Category::kEngine));
+    EXPECT_TRUE(sink->enabled(Category::kRl));
+
+    std::ostringstream os;
+    sink->write_jsonl(os);
+    const std::string text = os.str();
+    EXPECT_EQ(text.find("\"cat\":\"engine\""), std::string::npos);
+    EXPECT_EQ(text.find("\"cat\":\"migration\""), std::string::npos);
+    EXPECT_NE(text.find("\"cat\":\"rl\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Sweep merge determinism
+// ---------------------------------------------------------------------
+
+TEST(TelemetrySweep, MergedOutputsIdenticalAcrossJobCounts)
+{
+    const auto run_with_jobs = [](unsigned jobs) {
+        sweep::SweepSpec spec;
+        for (const char* policy : {"artmem", "memtis"}) {
+            for (int slow : {1, 4}) {
+                auto rs = small_spec();
+                rs.accesses = 60000;
+                rs.policy = policy;
+                rs.ratio = {1, slow};
+                rs.engine.telemetry.metrics = true;
+                rs.engine.telemetry.trace_categories =
+                    telemetry::kAllCategories;
+                spec.add(std::move(rs));
+            }
+        }
+        sweep::SweepRunner runner({.jobs = jobs, .progress = false});
+        const auto results = runner.run(spec);
+
+        std::ostringstream metrics, jsonl, chrome;
+        sweep::merge_job_metrics(results).write_json(metrics);
+        sweep::write_merged_jsonl(jsonl, results);
+        sweep::write_merged_chrome(chrome, results);
+        return std::array<std::string, 3>{metrics.str(), jsonl.str(),
+                                          chrome.str()};
+    };
+
+    const auto serial = run_with_jobs(1);
+    const auto parallel = run_with_jobs(4);
+    EXPECT_EQ(serial[0], parallel[0]);
+    EXPECT_EQ(serial[1], parallel[1]);
+    EXPECT_EQ(serial[2], parallel[2]);
+    EXPECT_TRUE(json_balanced(serial[2]));
+    // Every job contributed: the last job's tag appears in the JSONL.
+    EXPECT_NE(serial[1].find("{\"job\":3,"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// PhaseProfiler
+// ---------------------------------------------------------------------
+
+TEST(PhaseProfiler, AccumulatesAndMerges)
+{
+    telemetry::PhaseProfiler a;
+    a.add(telemetry::Phase::kAccess, 100);
+    a.add(telemetry::Phase::kAccess, 50);
+    telemetry::PhaseProfiler b;
+    b.add(telemetry::Phase::kTick, 25);
+    a.merge(b);
+    EXPECT_EQ(a.phase_ns(telemetry::Phase::kAccess), 150u);
+    EXPECT_EQ(a.phase_ns(telemetry::Phase::kTick), 25u);
+    EXPECT_EQ(a.total_ns(), 175u);
+
+    std::ostringstream os;
+    a.write_table(os);
+    EXPECT_NE(os.str().find("phase profile"), std::string::npos);
+    EXPECT_NE(os.str().find("access"), std::string::npos);
+}
+
+TEST(PhaseProfiler, NullProfilerTimerIsInert)
+{
+    // The zero-cost-when-off contract: a PhaseTimer over a null
+    // profiler records nothing (and reads no clock).
+    { telemetry::PhaseTimer timer(nullptr, telemetry::Phase::kAudit); }
+    telemetry::PhaseProfiler p;
+    { telemetry::PhaseTimer timer(&p, telemetry::Phase::kAudit); }
+    EXPECT_EQ(p.phase_ns(telemetry::Phase::kGenerate), 0u);
+}
+
+}  // namespace

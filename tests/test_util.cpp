@@ -157,6 +157,42 @@ TEST(OnlineStats, MergeMatchesSequential)
     EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
 }
 
+TEST(OnlineStats, MergeEmptyIntoPopulatedIsNoop)
+{
+    // An accumulator that never saw a sample carries zero-initialized
+    // min/max; merging it must not pull an all-negative population's
+    // extrema toward 0 (telemetry gauges merge empty shards routinely).
+    OnlineStats a, empty;
+    a.add(-3.0);
+    a.add(-1.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), -1.0);
+    EXPECT_DOUBLE_EQ(a.mean(), -2.0);
+}
+
+TEST(OnlineStats, MergePopulatedIntoEmptyAdopts)
+{
+    OnlineStats empty, b;
+    b.add(-3.0);
+    b.add(-1.0);
+    empty.merge(b);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.min(), -3.0);
+    EXPECT_DOUBLE_EQ(empty.max(), -1.0);
+}
+
+TEST(OnlineStats, MergeTwoEmptiesStaysEmpty)
+{
+    OnlineStats a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
 TEST(Pearson, PerfectCorrelation)
 {
     std::vector<double> x{1, 2, 3, 4, 5};

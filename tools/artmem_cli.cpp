@@ -14,6 +14,8 @@
  *   artmem trace-run --trace=s1.trace --policy=memtis
  *
  * Common flags: --accesses=N --seed=N --csv --json
+ * Observability (run and sweep; DESIGN.md section 8):
+ *   --metrics-out=FILE --trace-out=BASE --trace-categories=LIST --profile
  */
 #include <fstream>
 #include <iostream>
@@ -23,6 +25,8 @@
 #include "sim/experiment.hpp"
 #include "sweep/result_sink.hpp"
 #include "sweep/sweep.hpp"
+#include "sweep/telemetry_merge.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/config.hpp"
 #include "util/logging.hpp"
@@ -83,6 +87,85 @@ parse_spec(const CliArgs& args)
     return spec;
 }
 
+/** Telemetry output destinations parsed alongside the run spec. */
+struct TelemetryOutputs {
+    std::string metrics_out;  ///< Metrics JSON file ("" = off).
+    std::string trace_out;    ///< Base path; writes BASE.jsonl + BASE.json.
+    bool profile = false;     ///< Phase profile table on stderr.
+};
+
+telemetry::TelemetryConfig
+parse_telemetry(const CliArgs& args, TelemetryOutputs& outs)
+{
+    outs.metrics_out = args.get_string("metrics-out", "");
+    outs.trace_out = args.get_string("trace-out", "");
+    outs.profile = args.get_bool("profile", false);
+    if (args.has("trace-categories") && outs.trace_out.empty())
+        fatal("--trace-categories requires --trace-out");
+    telemetry::TelemetryConfig config;
+    config.metrics = !outs.metrics_out.empty();
+    config.profile = outs.profile;
+    if (!outs.trace_out.empty()) {
+        config.trace_categories = telemetry::parse_categories(
+            args.get_string("trace-categories", "all"));
+    }
+    return config;
+}
+
+std::ofstream
+open_out(const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write ", path);
+    return out;
+}
+
+void
+write_run_telemetry(const sim::RunResult& r, const TelemetryOutputs& outs)
+{
+    if (r.telemetry == nullptr)
+        return;
+    if (!outs.metrics_out.empty()) {
+        auto out = open_out(outs.metrics_out);
+        r.telemetry->metrics_registry().write_json(out);
+    }
+    if (!outs.trace_out.empty()) {
+        if (const auto* sink = r.telemetry->sink()) {
+            auto jsonl = open_out(outs.trace_out + ".jsonl");
+            sink->write_jsonl(jsonl);
+            auto chrome = open_out(outs.trace_out + ".json");
+            sink->write_chrome(chrome);
+        }
+    }
+    if (outs.profile)
+        r.telemetry->phase_profiler().write_table(std::cerr);
+}
+
+void
+write_sweep_telemetry(const std::vector<sim::RunResult>& runs,
+                      const TelemetryOutputs& outs, sweep::Format format)
+{
+    if (!outs.metrics_out.empty()) {
+        const auto merged = sweep::merge_job_metrics(runs);
+        auto out = open_out(outs.metrics_out);
+        merged.write_json(out);
+        sweep::ResultSink table({"metric", "value"});
+        for (const auto& [name, value] : merged.summary_rows())
+            table.row().cell(name).cell(value);
+        std::cout << "merged metrics\n";
+        table.emit(std::cout, format);
+    }
+    if (!outs.trace_out.empty()) {
+        auto jsonl = open_out(outs.trace_out + ".jsonl");
+        sweep::write_merged_jsonl(jsonl, runs);
+        auto chrome = open_out(outs.trace_out + ".json");
+        sweep::write_merged_chrome(chrome, runs);
+    }
+    if (outs.profile)
+        sweep::merge_job_profiles(runs).write_table(std::cerr);
+}
+
 void
 print_result(const sim::RunResult& r, const sim::RunSpec& spec)
 {
@@ -128,6 +211,8 @@ cmd_run(const CliArgs& args)
 {
     auto spec = parse_spec(args);
     spec.engine.record_timeline = args.get_bool("timeline", false);
+    TelemetryOutputs touts;
+    spec.engine.telemetry = parse_telemetry(args, touts);
 
     std::unique_ptr<policies::Policy> policy;
     const std::string qtables = args.get_string("qtables", "");
@@ -150,6 +235,7 @@ cmd_run(const CliArgs& args)
 
     const auto r = sim::run_experiment(spec, *policy);
     print_result(r, spec);
+    write_run_telemetry(r, touts);
     if (spec.engine.record_timeline) {
         Table table({"t (ms)", "ratio", "promoted", "demoted"});
         for (const auto& iv : r.timeline) {
@@ -167,7 +253,9 @@ cmd_run(const CliArgs& args)
 int
 cmd_sweep(const CliArgs& args)
 {
-    const auto spec = parse_spec(args);
+    auto spec = parse_spec(args);
+    TelemetryOutputs touts;
+    spec.engine.telemetry = parse_telemetry(args, touts);
     const auto ratios = sim::paper_ratios();
 
     sweep::SweepSpec sweepspec;
@@ -208,6 +296,7 @@ cmd_sweep(const CliArgs& args)
                                    ? sweep::Format::kCsv
                                    : sweep::Format::kTable);
     table.emit(std::cout, format);
+    write_sweep_telemetry(runs, touts, format);
     return 0;
 }
 
@@ -282,7 +371,11 @@ main(int argc, char** argv)
                "       --fault-scenario=<none|migration|degrade|blackout|"
                "pressure> --fault-config=<file> --fault-seed=N\n"
                "       --check-invariants (audit simulator state every "
-               "interval; see DESIGN.md section 6)\n";
+               "interval; see DESIGN.md section 6)\n"
+               "       --metrics-out=FILE --trace-out=BASE (writes "
+               "BASE.jsonl + BASE.json) --profile\n"
+               "       --trace-categories=<all|none|engine,migration,pebs,"
+               "rl,threshold> (default all; needs --trace-out)\n";
         return 1;
     }
     const std::string& command = args.positional()[0];
