@@ -18,6 +18,9 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "core/artmem.hpp"
 #include "lru/lru_lists.hpp"
 #include "memsim/pebs.hpp"
@@ -186,6 +189,10 @@ BM_SimTelemetry(benchmark::State& state)
     spec.policy = "artmem";
     spec.ratio = {1, 4};
     spec.accesses = 200000;
+    // Both arms must simulate the *same* run: an explicit shared seed
+    // guarantees identical access streams and decisions, so the on/off
+    // delta is telemetry cost alone, not run-to-run divergence.
+    spec.seed = 42;
     if (on) {
         spec.engine.telemetry.metrics = true;
         spec.engine.telemetry.trace_categories = telemetry::kAllCategories;
@@ -200,6 +207,32 @@ BM_SimTelemetry(benchmark::State& state)
     state.SetLabel(on ? "telemetry=on" : "telemetry=off");
 }
 BENCHMARK(BM_SimTelemetry)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimThroughput(benchmark::State& state, const char* workload)
+{
+    // End-to-end accesses/sec through the batched hot path (DESIGN.md
+    // §9): workload generation, TieredMachine::access_batch, PEBS
+    // drain, and the full policy decision cadence. items_per_second is
+    // the headline number tracked in BENCH_hotpath.json and guarded by
+    // scripts/check_perf.sh.
+    sim::RunSpec spec;
+    spec.workload = workload;
+    spec.policy = "artmem";
+    spec.ratio = {1, 4};
+    spec.accesses = 2000000;
+    spec.seed = 42;
+    for (auto _ : state) {
+        const auto r = sim::run_experiment(spec);
+        benchmark::DoNotOptimize(r.fast_ratio);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(spec.accesses));
+}
+BENCHMARK_CAPTURE(BM_SimThroughput, ycsb, "ycsb")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimThroughput, s2, "s2")
+    ->Unit(benchmark::kMillisecond);
 
 /** Prints the Section 6.4 summary around the google-benchmark run. */
 class OverheadReporter : public benchmark::ConsoleReporter
@@ -231,8 +264,38 @@ class OverheadReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char** argv)
 {
-    benchmark::Initialize(&argc, argv);
-    OverheadReporter reporter;
-    benchmark::RunSpecifiedBenchmarks(&reporter);
+    // --quick (scripts/check_perf.sh): restrict the run to the
+    // end-to-end throughput benchmarks at one iteration each, mirroring
+    // the fig-harness --quick convention. Expanded into native
+    // google-benchmark flags so the library still does all the timing.
+    std::vector<char*> args;
+    static char filter[] = "--benchmark_filter=BM_SimThroughput";
+    static char min_time[] = "--benchmark_min_time=0.01";
+    bool quick = false;
+    bool custom_format = false;
+    for (int i = 0; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        if (arg == "--quick") {
+            quick = true;
+            continue;
+        }
+        if (arg.rfind("--benchmark_format", 0) == 0)
+            custom_format = true;
+        args.push_back(argv[i]);
+    }
+    if (quick) {
+        args.push_back(filter);
+        args.push_back(min_time);
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (custom_format) {
+        // An explicit reporter would override --benchmark_format=json
+        // (used by scripts/check_perf.sh), so let the library pick.
+        benchmark::RunSpecifiedBenchmarks();
+    } else {
+        OverheadReporter reporter;
+        benchmark::RunSpecifiedBenchmarks(&reporter);
+    }
     return 0;
 }

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Sanitizer CI: build and run the test suite under ASan+UBSan, then the
-# threaded tests (ring buffer / async sampler) under TSan. Any sanitizer
-# report fails the run (halt_on_error / abort_on_error below).
+# Sanitizer CI: build and run the test suite under ASan+UBSan — the
+# full ctest run includes the memsim/lru/sim suites plus the hot-path
+# differential-model (test_diff_model) and property (test_property)
+# harnesses — then the threaded tests (ring buffer / async sampler)
+# under TSan. Any sanitizer report fails the run (halt_on_error /
+# abort_on_error below).
 #
 #   scripts/check_sanitizers.sh [build-dir-prefix]
 #

@@ -16,38 +16,47 @@
 #      configs/telemetry_smoke.cfg; the Chrome trace and metrics files
 #      must be valid JSON (python3 -m json.tool) and a second identical
 #      seeded run must reproduce the metrics and trace byte-for-byte,
-#   7. (optional, slow) sanitizers: pass --sanitizers to append
-#      scripts/check_sanitizers.sh.
+#   7. perf-regression smoke: scripts/check_perf.sh runs the end-to-end
+#      hot-path throughput benchmarks (bench_overheads --quick) and
+#      compares accesses/sec against BENCH_hotpath.json with a 30%
+#      tolerance,
+#   8. (optional, slow) sanitizers: pass --sanitizers to append
+#      scripts/check_sanitizers.sh,
+#   9. (optional, slow) coverage: pass --coverage to append
+#      scripts/check_coverage.sh (instrumented build + line-coverage
+#      floor on src/memsim and src/lru).
 #
-#   scripts/ci.sh [--sanitizers]
+#   scripts/ci.sh [--sanitizers] [--coverage]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 2)"
 run_sanitizers=0
+run_coverage=0
 for arg in "$@"; do
     case "${arg}" in
     --sanitizers) run_sanitizers=1 ;;
+    --coverage) run_coverage=1 ;;
     *)
-        echo "usage: scripts/ci.sh [--sanitizers]" >&2
+        echo "usage: scripts/ci.sh [--sanitizers] [--coverage]" >&2
         exit 2
         ;;
     esac
 done
 
-echo "==> [1/6] default build + tests"
+echo "==> [1/7] default build + tests"
 cmake -B build -S . > /dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "==> [2/6] strict build (ARTMEM_STRICT=ON)"
+echo "==> [2/7] strict build (ARTMEM_STRICT=ON)"
 cmake -B build-strict -S . -DARTMEM_STRICT=ON > /dev/null
 cmake --build build-strict -j "${jobs}"
 
-echo "==> [3/6] lint"
+echo "==> [3/7] lint"
 scripts/check_lint.sh build
 
-echo "==> [4/6] invariant-checked fault sweep"
+echo "==> [4/7] invariant-checked fault sweep"
 for scenario in none migration degrade blackout pressure; do
     echo "--- scenario ${scenario}"
     ./build/tools/artmem run --workload=s2 --policy=artmem --ratio=1:4 \
@@ -55,7 +64,7 @@ for scenario in none migration degrade blackout pressure; do
         --check-invariants
 done
 
-echo "==> [5/6] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
+echo "==> [5/7] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
 ./build/bench/bench_fig7_main --csv --accesses=200000 --jobs=1 \
     > build/fig7_jobs1.csv
 ./build/bench/bench_fig7_main --csv --accesses=200000 --jobs=4 \
@@ -63,7 +72,7 @@ echo "==> [5/6] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
 cmp build/fig7_jobs1.csv build/fig7_jobs4.csv
 echo "sweep output identical across --jobs 1 and --jobs 4"
 
-echo "==> [6/6] telemetry smoke (traced run, JSON validity, byte-identity)"
+echo "==> [6/7] telemetry smoke (traced run, JSON validity, byte-identity)"
 ./build/examples/masim_runner configs/telemetry_smoke.cfg \
     --policy=artmem --ratio=1:4 \
     --metrics-out=build/telemetry_a.metrics.json \
@@ -79,9 +88,17 @@ cmp build/telemetry_a.jsonl build/telemetry_b.jsonl
 cmp build/telemetry_a.json build/telemetry_b.json
 echo "telemetry outputs valid JSON and byte-identical across reruns"
 
+echo "==> [7/7] perf-regression smoke (hot-path throughput)"
+scripts/check_perf.sh build
+
 if [[ "${run_sanitizers}" -eq 1 ]]; then
     echo "==> [extra] sanitizers"
     scripts/check_sanitizers.sh
+fi
+
+if [[ "${run_coverage}" -eq 1 ]]; then
+    echo "==> [extra] coverage floor"
+    scripts/check_coverage.sh
 fi
 
 echo "==> CI OK"

@@ -114,6 +114,16 @@ void
 ArtMem::on_samples(std::span<const memsim::PebsSample> samples)
 {
     auto& m = machine();
+    // Per-batch invariants hoisted out of the sample loop: the two tier
+    // latencies, the sorting flag, and local accumulators for sums that
+    // are pure integer additions (order-independent, so accumulating
+    // locally is bit-identical to the per-sample updates).
+    const SimTimeNs lat[memsim::kTierCount] = {
+        m.config().tiers[0].load_latency_ns,
+        m.config().tiers[1].load_latency_ns,
+    };
+    const bool sorting = config_.use_sorting;
+    SimTimeNs latency_sum = 0;
     for (const auto& s : samples) {
         bins_->record(s.page);
         tracker_->record(s.tier);
@@ -122,13 +132,15 @@ ArtMem::on_samples(std::span<const memsim::PebsSample> samples)
         // a migration interval, and touch() re-homes the page to
         // whichever tier it is told, so a stale s.tier would link a
         // migrated page onto the wrong tier's LRU list (caught by
-        // verify::Invariant::kLruResidency).
-        if (config_.use_sorting)
-            lists_->touch(s.page, m.tier_of(s.page));
-        window_latency_sum_ +=
-            m.config().tiers[static_cast<int>(s.tier)].load_latency_ns;
-        ++window_latency_samples_;
+        // verify::Invariant::kLruResidency). A sampled page was
+        // necessarily accessed, hence allocated: the unchecked read is
+        // safe.
+        if (sorting)
+            lists_->touch(s.page, m.tier_of_unchecked(s.page));
+        latency_sum += lat[static_cast<int>(s.tier)];
     }
+    window_latency_sum_ += latency_sum;
+    window_latency_samples_ += samples.size();
     if (bins_->cooling_due()) {
         bins_->cool();
         // The threshold is re-derived from capacity after each cooling;
@@ -204,7 +216,8 @@ ArtMem::collect_promotion_candidates(std::size_t want,
         for (PageId page : candidate_scratch_) {
             if (out.size() >= want)
                 break;
-            if (m.is_allocated(page) && m.tier_of(page) == Tier::kSlow &&
+            if (m.is_allocated(page) &&
+                m.tier_of_unchecked(page) == Tier::kSlow &&
                 !backed_off(page)) {
                 out.push_back(page);
             }
@@ -222,7 +235,8 @@ ArtMem::collect_promotion_candidates(std::size_t want,
              page != kInvalidPage && out.size() < want;
              page = lists_->next(page)) {
             if (bins_->count(page) >= threshold_ && m.is_allocated(page) &&
-                m.tier_of(page) == Tier::kSlow && !backed_off(page)) {
+                m.tier_of_unchecked(page) == Tier::kSlow &&
+                !backed_off(page)) {
                 out.push_back(page);
             }
         }
@@ -298,7 +312,7 @@ ArtMem::demote_for_room(std::size_t need)
         cold_scan_cursor_ =
             static_cast<PageId>((cold_scan_cursor_ + 1) % pages);
         ++scanned;
-        if (m.is_allocated(page) && m.tier_of(page) == Tier::kFast &&
+        if (m.is_allocated(page) && m.tier_of_unchecked(page) == Tier::kFast &&
             lists_->where(page) == lru::ListId::kNone && !backed_off(page)) {
             demote_page(page);
         }

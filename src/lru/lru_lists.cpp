@@ -4,13 +4,6 @@
 
 namespace artmem::lru {
 
-ListId
-list_id(memsim::Tier tier, bool active)
-{
-    const int base = tier == memsim::Tier::kFast ? 0 : 2;
-    return static_cast<ListId>(base + (active ? 0 : 1));
-}
-
 memsim::Tier
 list_tier(ListId id)
 {
@@ -18,12 +11,6 @@ list_tier(ListId id)
         panic("list_tier(kNone)");
     return static_cast<int>(id) < 2 ? memsim::Tier::kFast
                                     : memsim::Tier::kSlow;
-}
-
-bool
-list_active(ListId id)
-{
-    return id == ListId::kFastActive || id == ListId::kSlowActive;
 }
 
 LruLists::LruLists(std::size_t page_count)
@@ -36,23 +23,6 @@ LruLists::LruLists(std::size_t page_count)
         heads_[i] = kInvalidPage;
         tails_[i] = kInvalidPage;
     }
-}
-
-void
-LruLists::insert_head(PageId page, ListId list)
-{
-    if (where_[page] != ListId::kNone)
-        panic("LruLists::insert_head: page ", page, " already linked");
-    const int l = static_cast<int>(list);
-    next_[page] = heads_[l];
-    prev_[page] = kInvalidPage;
-    if (heads_[l] != kInvalidPage)
-        prev_[heads_[l]] = page;
-    heads_[l] = page;
-    if (tails_[l] == kInvalidPage)
-        tails_[l] = page;
-    where_[page] = list;
-    ++sizes_[l];
 }
 
 void
@@ -70,36 +40,6 @@ LruLists::insert_tail(PageId page, ListId list)
         heads_[l] = page;
     where_[page] = list;
     ++sizes_[l];
-}
-
-void
-LruLists::remove(PageId page)
-{
-    const ListId list = where_[page];
-    if (list == ListId::kNone)
-        return;
-    const int l = static_cast<int>(list);
-    const PageId p = prev_[page];
-    const PageId n = next_[page];
-    if (p != kInvalidPage)
-        next_[p] = n;
-    else
-        heads_[l] = n;
-    if (n != kInvalidPage)
-        prev_[n] = p;
-    else
-        tails_[l] = p;
-    prev_[page] = kInvalidPage;
-    next_[page] = kInvalidPage;
-    where_[page] = ListId::kNone;
-    --sizes_[l];
-}
-
-void
-LruLists::move_to_head(PageId page, ListId list)
-{
-    remove(page);
-    insert_head(page, list);
 }
 
 PageId
@@ -120,34 +60,6 @@ LruLists::test_and_clear_referenced(PageId page)
     const bool was = referenced_[page] != 0;
     referenced_[page] = 0;
     return was;
-}
-
-void
-LruLists::touch(PageId page, memsim::Tier tier)
-{
-    const ListId current = where_[page];
-    const ListId active = list_id(tier, true);
-    const ListId inactive = list_id(tier, false);
-    if (current == ListId::kNone) {
-        referenced_[page] = 1;
-        insert_head(page, inactive);
-        return;
-    }
-    // If the page migrated since its last touch, current may belong to
-    // the other tier; re-home it.
-    if (list_active(current)) {
-        move_to_head(page, active);
-        referenced_[page] = 1;
-        return;
-    }
-    if (referenced_[page]) {
-        // Second touch while inactive: activate (kernel workingset rule).
-        referenced_[page] = 0;
-        move_to_head(page, active);
-    } else {
-        referenced_[page] = 1;
-        move_to_head(page, inactive);
-    }
 }
 
 std::size_t

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "memsim/tier.hpp"
+#include "util/logging.hpp"
 #include "util/types.hpp"
 
 namespace artmem::lru {
@@ -34,13 +35,22 @@ enum class ListId : std::uint8_t {
 };
 
 /** List holding pages of @p tier with the given activity. */
-ListId list_id(memsim::Tier tier, bool active);
+inline ListId
+list_id(memsim::Tier tier, bool active)
+{
+    const int base = tier == memsim::Tier::kFast ? 0 : 2;
+    return static_cast<ListId>(base + (active ? 0 : 1));
+}
 
 /** Tier a list belongs to; panic on kNone. */
 memsim::Tier list_tier(ListId id);
 
 /** True for the two active lists. */
-bool list_active(ListId id);
+inline bool
+list_active(ListId id)
+{
+    return id == ListId::kFastActive || id == ListId::kSlowActive;
+}
 
 /** Four active/inactive LRU lists with per-page referenced bits. */
 class LruLists
@@ -52,17 +62,62 @@ class LruLists
     /** List currently containing the page (kNone if unlinked). */
     ListId where(PageId page) const { return where_[page]; }
 
-    /** Insert an unlinked page at the head (MRU end) of a list. */
-    void insert_head(PageId page, ListId list);
+    /**
+     * Insert an unlinked page at the head (MRU end) of a list.
+     * Inline along with remove()/move_to_head()/touch(): these run per
+     * drained PEBS sample on the engine's tick path (DESIGN.md §9).
+     */
+    void
+    insert_head(PageId page, ListId list)
+    {
+        if (where_[page] != ListId::kNone)
+            panic("LruLists::insert_head: page ", page, " already linked");
+        const int l = static_cast<int>(list);
+        next_[page] = heads_[l];
+        prev_[page] = kInvalidPage;
+        if (heads_[l] != kInvalidPage)
+            prev_[heads_[l]] = page;
+        heads_[l] = page;
+        if (tails_[l] == kInvalidPage)
+            tails_[l] = page;
+        where_[page] = list;
+        ++sizes_[l];
+    }
 
     /** Insert an unlinked page at the tail (LRU end) of a list. */
     void insert_tail(PageId page, ListId list);
 
     /** Unlink the page from whatever list holds it (no-op if none). */
-    void remove(PageId page);
+    void
+    remove(PageId page)
+    {
+        const ListId list = where_[page];
+        if (list == ListId::kNone)
+            return;
+        const int l = static_cast<int>(list);
+        const PageId p = prev_[page];
+        const PageId n = next_[page];
+        if (p != kInvalidPage)
+            next_[p] = n;
+        else
+            heads_[l] = n;
+        if (n != kInvalidPage)
+            prev_[n] = p;
+        else
+            tails_[l] = p;
+        prev_[page] = kInvalidPage;
+        next_[page] = kInvalidPage;
+        where_[page] = ListId::kNone;
+        --sizes_[l];
+    }
 
     /** Unlink + insert at the head of @p list. */
-    void move_to_head(PageId page, ListId list);
+    void
+    move_to_head(PageId page, ListId list)
+    {
+        remove(page);
+        insert_head(page, list);
+    }
 
     /** Head (MRU) page of a list, or kInvalidPage. */
     PageId head(ListId list) const;
@@ -97,7 +152,33 @@ class LruLists
      * head, an unlinked page is inserted at the inactive head. Mirrors
      * mark_page_accessed() semantics closely enough for policy purposes.
      */
-    void touch(PageId page, memsim::Tier tier);
+    void
+    touch(PageId page, memsim::Tier tier)
+    {
+        const ListId current = where_[page];
+        const ListId active = list_id(tier, true);
+        const ListId inactive = list_id(tier, false);
+        if (current == ListId::kNone) {
+            referenced_[page] = 1;
+            insert_head(page, inactive);
+            return;
+        }
+        // If the page migrated since its last touch, current may belong
+        // to the other tier; re-home it.
+        if (list_active(current)) {
+            move_to_head(page, active);
+            referenced_[page] = 1;
+            return;
+        }
+        if (referenced_[page]) {
+            // Second touch while inactive: activate (workingset rule).
+            referenced_[page] = 0;
+            move_to_head(page, active);
+        } else {
+            referenced_[page] = 1;
+            move_to_head(page, inactive);
+        }
+    }
 
     /**
      * Second-chance aging pass over the active list of @p tier, from the

@@ -116,6 +116,91 @@ TieredMachine::access(PageId page)
     return tier;
 }
 
+template <bool kFaulted>
+void
+TieredMachine::batch_loop(const PageId* pages, std::size_t n,
+                          PebsSampler& sampler,
+                          std::uint64_t* pebs_suppressed)
+{
+    // Hoisted per-batch invariants: the flags base pointer, the two
+    // tier latencies, and — shadowed in locals — the clock and the
+    // per-tier access counters. The locals are flushed back before any
+    // code that can observe machine state runs (trap handlers may
+    // re-enter via migrate()/exchange()), which keeps every
+    // intermediate state bit-identical to per-access access() calls.
+    std::uint8_t* const flags = flags_.data();
+    const SimTimeNs lat[kTierCount] = {latency_[0], latency_[1]};
+    SimTimeNs now = now_;
+    std::uint64_t acc[kTierCount] = {0, 0};
+    for (std::size_t i = 0; i < n; ++i) {
+        const PageId page = pages[i];
+        std::uint8_t f = flags[page];
+        if (!(f & kAllocatedBit)) [[unlikely]] {
+            // allocate() touches only used_ and flags_, neither of
+            // which is shadowed, so no flush is needed.
+            allocate(page);
+            f = flags[page];
+        }
+        const int t = f & kTierBit;  // kTierBit == 0x1: 0 fast, 1 slow
+        const Tier tier = t != 0 ? Tier::kSlow : Tier::kFast;
+        flags[page] = static_cast<std::uint8_t>(f | kAccessedBit);
+        if constexpr (kFaulted)
+            now += faults_->effective_latency(tier, lat[t], now);
+        else
+            now += lat[t];
+        ++acc[t];
+        if (f & kTrapBit) [[unlikely]] {
+            flags[page] &= static_cast<std::uint8_t>(~kTrapBit);
+            now += config_.hint_fault_cost_ns;
+            ++totals_.hint_faults;
+            ++window_.hint_faults;
+            if (fault_handler_) {
+                now_ = now;
+                totals_.accesses[0] += acc[0];
+                totals_.accesses[1] += acc[1];
+                window_.accesses[0] += acc[0];
+                window_.accesses[1] += acc[1];
+                acc[0] = acc[1] = 0;
+                fault_handler_(page, tier);
+                now = now_;
+            }
+        }
+        if constexpr (kFaulted) {
+            // Same draw order as the engine's scalar loop: the
+            // suppression draw happens after the access, at the
+            // post-access (and post-trap) timestamp.
+            if (faults_->sample_suppressed(now)) [[unlikely]]
+                ++*pebs_suppressed;
+            else
+                sampler.observe(page, tier);
+        } else {
+            sampler.observe(page, tier);
+        }
+    }
+    now_ = now;
+    totals_.accesses[0] += acc[0];
+    totals_.accesses[1] += acc[1];
+    window_.accesses[0] += acc[0];
+    window_.accesses[1] += acc[1];
+}
+
+void
+TieredMachine::access_batch(const PageId* pages, std::size_t n,
+                            PebsSampler& sampler)
+{
+    batch_loop<false>(pages, n, sampler, nullptr);
+}
+
+void
+TieredMachine::access_batch_faulted(const PageId* pages, std::size_t n,
+                                    PebsSampler& sampler,
+                                    std::uint64_t& pebs_suppressed)
+{
+    if (faults_ == nullptr)
+        panic("access_batch_faulted without an installed fault injector");
+    batch_loop<true>(pages, n, sampler, &pebs_suppressed);
+}
+
 Tier
 TieredMachine::tier_of(PageId page) const
 {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "memsim/fault_injector.hpp"
+#include "memsim/pebs.hpp"
 #include "memsim/tier.hpp"
 #include "util/types.hpp"
 
@@ -145,6 +146,33 @@ class TieredMachine
     Tier access(PageId page);
 
     /**
+     * Perform @p n accesses through one fused dispatch loop, feeding
+     * each one to @p sampler (the engine's per-access sequence).
+     *
+     * Semantically exactly n calls to access() + PebsSampler::observe():
+     * the clock and the per-tier access counters are accumulated in
+     * locals and flushed before any trap handler runs (the handler may
+     * re-enter the machine), so every observable intermediate state —
+     * including the timestamps fault handlers and samplers see — is
+     * bit-identical to the scalar loop. tests/test_diff_model.cpp
+     * drives both paths in lockstep to enforce this.
+     */
+    void access_batch(const PageId* pages, std::size_t n,
+                      PebsSampler& sampler);
+
+    /**
+     * access_batch() with the engine's fault-aware sampling sequence:
+     * per access, latency is the injector's effective latency, and the
+     * sample is dropped (counted in @p pebs_suppressed) when the
+     * injector suppresses it — same call order as the scalar loop,
+     * so the injector's draw stream is unchanged. Requires an
+     * installed fault injector.
+     */
+    void access_batch_faulted(const PageId* pages, std::size_t n,
+                              PebsSampler& sampler,
+                              std::uint64_t& pebs_suppressed);
+
+    /**
      * Allocate pages [first, first+count) in address order without
      * charging access time (a program initializing its heap at startup:
      * fast tier fills first, then overflows to the slow tier).
@@ -211,6 +239,17 @@ class TieredMachine
 
     /** Residency of an allocated page; panic() on unallocated pages. */
     Tier tier_of(PageId page) const;
+
+    /**
+     * Residency without the allocation check, for hot loops whose pages
+     * are allocated by construction (e.g. pages that arrived in a PEBS
+     * sample were necessarily accessed). Unallocated pages read as
+     * kFast; callers that cannot prove allocation must use tier_of().
+     */
+    Tier tier_of_unchecked(PageId page) const
+    {
+        return (flags_[page] & kTierBit) != 0 ? Tier::kSlow : Tier::kFast;
+    }
 
     /**
      * Move an allocated page to @p dst, charging migration cost on
@@ -361,6 +400,10 @@ class TieredMachine
     static constexpr std::uint8_t kTrapBit = 0x8;
 
     void allocate(PageId page);
+    /** Shared fused loop behind the two access_batch() overloads. */
+    template <bool kFaulted>
+    void batch_loop(const PageId* pages, std::size_t n,
+                    PebsSampler& sampler, std::uint64_t* pebs_suppressed);
     SimTimeNs migration_cost(Tier src, Tier dst) const;
     void account_migration(Tier src, Tier dst);
     void record_failure(MigrateStatus status, PageId page);

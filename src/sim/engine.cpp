@@ -179,21 +179,14 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
         {
             telemetry::PhaseTimer timer(profiler,
                                         telemetry::Phase::kAccess);
-            if (faults == nullptr) {
-                for (std::size_t i = 0; i < n; ++i) {
-                    const memsim::Tier tier = machine.access(batch[i]);
-                    sampler.observe(batch[i], tier);
-                }
-            } else {
-                for (std::size_t i = 0; i < n; ++i) {
-                    const memsim::Tier tier = machine.access(batch[i]);
-                    if (faults->sample_suppressed(machine.now()))
-                        [[unlikely]]
-                        ++pebs_suppressed;
-                    else
-                        sampler.observe(batch[i], tier);
-                }
-            }
+            // One fused dispatch loop per batch; semantically identical
+            // to per-access access() + observe() calls (the scalar
+            // sequence lives on as the oracle in tests/test_diff_model).
+            if (faults == nullptr)
+                machine.access_batch(batch.data(), n, sampler);
+            else
+                machine.access_batch_faulted(batch.data(), n, sampler,
+                                             pebs_suppressed);
         }
         result.accesses += n;
         // Periodic threads sleep relative to when they finish their

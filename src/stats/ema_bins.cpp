@@ -12,37 +12,12 @@ EmaBins::EmaBins(std::size_t page_count, std::uint64_t cooling_period)
     bins_[0] = page_count;
 }
 
-int
-EmaBins::bin_of(std::uint32_t count)
-{
-    if (count == 0)
-        return 0;
-    const int bin = std::bit_width(count);  // counts [2^(b-1), 2^b) -> b
-    return bin >= kBins ? kBins - 1 : bin;
-}
-
 std::uint32_t
 EmaBins::bin_floor(int bin)
 {
     if (bin <= 0)
         return 0;
     return 1u << (bin - 1);
-}
-
-void
-EmaBins::record(PageId page)
-{
-    std::uint32_t& c = counts_[page];
-    const int before = bin_of(c);
-    // Saturate well below 2^kBins so cooling always shrinks the value.
-    if (c < (1u << (kBins - 1)))
-        ++c;
-    const int after = bin_of(c);
-    if (after != before) {
-        --bins_[before];
-        ++bins_[after];
-    }
-    ++samples_since_cooling_;
 }
 
 void

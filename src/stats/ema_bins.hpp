@@ -12,6 +12,7 @@
 #ifndef ARTMEM_STATS_EMA_BINS_HPP
 #define ARTMEM_STATS_EMA_BINS_HPP
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -34,14 +35,38 @@ class EmaBins
     explicit EmaBins(std::size_t page_count,
                      std::uint64_t cooling_period = 0);
 
-    /** Record one sampled access to @p page. */
-    void record(PageId page);
+    /**
+     * Record one sampled access to @p page. Inline: runs once per
+     * drained PEBS sample on the engine's tick path (DESIGN.md §9).
+     */
+    void
+    record(PageId page)
+    {
+        std::uint32_t& c = counts_[page];
+        const int before = bin_of(c);
+        // Saturate well below 2^kBins so cooling always shrinks the value.
+        if (c < (1u << (kBins - 1)))
+            ++c;
+        const int after = bin_of(c);
+        if (after != before) {
+            --bins_[before];
+            ++bins_[after];
+        }
+        ++samples_since_cooling_;
+    }
 
     /** Sampled-access count of a page (post-cooling EMA value). */
     std::uint32_t count(PageId page) const { return counts_[page]; }
 
     /** Bin index a count falls into. */
-    static int bin_of(std::uint32_t count);
+    static int
+    bin_of(std::uint32_t count)
+    {
+        if (count == 0)
+            return 0;
+        const int bin = std::bit_width(count);  // [2^(b-1), 2^b) -> b
+        return bin >= kBins ? kBins - 1 : bin;
+    }
 
     /** Smallest count belonging to @p bin (0 for bin 0). */
     static std::uint32_t bin_floor(int bin);

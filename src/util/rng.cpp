@@ -5,31 +5,12 @@
 namespace artmem {
 
 std::uint64_t
-splitmix64(std::uint64_t& state)
-{
-    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
-
-std::uint64_t
 derive_seed(std::uint64_t base_seed, std::uint64_t index)
 {
     std::uint64_t state = base_seed;
     state = splitmix64(state) ^ index;
     return splitmix64(state);
 }
-
-namespace {
-
-inline std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
 
 Rng::Rng(std::uint64_t seed_value)
 {
@@ -45,33 +26,6 @@ Rng::seed(std::uint64_t seed_value)
 }
 
 std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::next_below(std::uint64_t bound)
-{
-    if (bound == 0)
-        panic("Rng::next_below called with bound 0");
-    // Lemire multiply-shift; the slight modulo bias is irrelevant for
-    // simulation workloads (bound << 2^64). __int128 is a GCC/Clang
-    // extension; __extension__ keeps -Wpedantic quiet about it.
-    __extension__ typedef unsigned __int128 uint128;
-    return static_cast<std::uint64_t>(
-        (static_cast<uint128>(next()) * bound) >> 64);
-}
-
-std::uint64_t
 Rng::next_range(std::uint64_t lo, std::uint64_t hi)
 {
     if (lo > hi)
@@ -79,16 +33,10 @@ Rng::next_range(std::uint64_t lo, std::uint64_t hi)
     return lo + next_below(hi - lo + 1);
 }
 
-double
-Rng::next_double()
+void
+Rng::panic_bound_zero()
 {
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::next_bool(double p)
-{
-    return next_double() < p;
+    panic("Rng::next_below called with bound 0");
 }
 
 Rng

@@ -1,10 +1,46 @@
 #include "util/zipf.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/logging.hpp"
 
 namespace artmem {
+
+namespace {
+
+/**
+ * Positive finite doubles compare the same way their IEEE-754 bit
+ * patterns do, so bisection over [0, 1) can walk uint64 bit patterns
+ * and visit every representable double exactly once.
+ */
+std::uint64_t
+to_bits(double d)
+{
+    return std::bit_cast<std::uint64_t>(d);
+}
+
+double
+from_bits(std::uint64_t b)
+{
+    return std::bit_cast<double>(b);
+}
+
+/** Ranks covered by the fast-path table (capped by the item count). */
+constexpr std::size_t kTableRanks = 512;
+
+/**
+ * Uniform buckets over [0, boundaries_.back()). Sized so that even in
+ * the densest tail of the table a bucket spans only a boundary or two,
+ * keeping the linear scan after the indexed lookup O(1).
+ */
+constexpr std::size_t kBuckets = 4096;
+
+/** Random monotonicity probes per table rank during verification. */
+constexpr std::size_t kProbesPerRank = 32;
+
+}  // namespace
 
 double
 ZipfianGenerator::zeta(std::uint64_t n, double theta)
@@ -28,20 +64,113 @@ ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
     zeta2theta_ = zeta(2, theta_);
     eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
            (1.0 - zeta2theta_ / zetan_);
+    // Caching 0.5^theta is exact: pow() is a pure function of its
+    // arguments, so the cached double is bit-identical to the per-draw
+    // recomputation the closed form used to do.
+    threshold12_ = 1.0 + std::pow(0.5, theta_);
+    build_table();
 }
 
 std::uint64_t
-ZipfianGenerator::next(Rng& rng)
+ZipfianGenerator::rank_of(double u) const
 {
-    const double u = rng.next_double();
     const double uz = u * zetan_;
     if (uz < 1.0)
         return 0;
-    if (uz < 1.0 + std::pow(0.5, theta_))
+    if (uz < threshold12_)
         return 1;
     const auto rank = static_cast<std::uint64_t>(
         static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
     return rank >= n_ ? n_ - 1 : rank;
+}
+
+void
+ZipfianGenerator::build_table()
+{
+    // Rank n-1 has no upper boundary below u = 1.0, so at most n-1
+    // boundaries exist; n == 1 keeps the closed form alone (its uz < 1
+    // branch already makes that case cheap).
+    const std::size_t ranks = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n_ - 1, kTableRanks));
+    if (ranks == 0)
+        return;
+
+    const std::uint64_t one_bits = to_bits(1.0);
+    boundaries_.reserve(ranks);
+    for (std::size_t r = 0; r < ranks; ++r) {
+        // Bisect for the smallest u with rank_of(u) > r. Assuming the
+        // closed form is weakly monotone in u (verified below), every
+        // u below the previous boundary already has rank <= r, so the
+        // search window starts there.
+        std::uint64_t lo = boundaries_.empty() ? 0
+                                               : to_bits(boundaries_.back());
+        std::uint64_t hi = one_bits;
+        while (lo < hi) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            if (rank_of(from_bits(mid)) > r)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        if (lo >= one_bits)
+            break;  // No drawable u reaches rank r+1; stop early.
+        boundaries_.push_back(from_bits(lo));
+    }
+    if (boundaries_.empty())
+        return;
+
+    // boundaries_[r] is the smallest u with closed-form rank > r, so
+    // the rank of u is the first index whose boundary exceeds it: an
+    // upper-bound search. The bucket grid turns that search into an
+    // indexed jump: bucket_start_[b] holds the upper bound at the
+    // bucket's left edge, and rank_from_table() walks the final step.
+    // Equal adjacent boundaries (a rank the closed form skips over)
+    // fall out naturally: the scan steps past the empty interval.
+    bucket_scale_ = static_cast<double>(kBuckets) / boundaries_.back();
+    bucket_start_.resize(kBuckets);
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        const double edge = static_cast<double>(b) / bucket_scale_;
+        bucket_start_[b] = static_cast<std::uint16_t>(
+            std::upper_bound(boundaries_.begin(), boundaries_.end(), edge) -
+            boundaries_.begin());
+    }
+
+    // Verify the table against the closed form. Bisection is only
+    // correct if rank_of() is weakly monotone over the double bit
+    // space — true for a correctly-rounded pow(), but not guaranteed
+    // by the standard — so probe each boundary's both sides plus a
+    // deterministic random spray of bit patterns under the table, and
+    // drop the whole table (falling back to the closed form, which is
+    // always correct) on any mismatch. tests/test_diff_model.cpp
+    // additionally cross-checks millions of live draws.
+    bool ok = true;
+    for (std::size_t r = 0; r < boundaries_.size() && ok; ++r) {
+        const double b = boundaries_[r];
+        if (r > 0 && b < boundaries_[r - 1])
+            ok = false;
+        if (rank_of(b) <= r)
+            ok = false;
+        const std::uint64_t bb = to_bits(b);
+        if (bb > 0 && rank_of(from_bits(bb - 1)) > r)
+            ok = false;
+        if (ok && rank_from_table(b) != rank_of(b))
+            ok = false;
+    }
+    if (ok) {
+        std::uint64_t probe_state = 0x5a1fb00c0ffee123ull;
+        const std::uint64_t back_bits = to_bits(boundaries_.back());
+        const std::size_t probes = kProbesPerRank * boundaries_.size();
+        for (std::size_t i = 0; i < probes && ok; ++i) {
+            const double u = from_bits(splitmix64(probe_state) % back_bits);
+            if (rank_from_table(u) != rank_of(u))
+                ok = false;
+        }
+    }
+    if (!ok) {
+        boundaries_.clear();
+        bucket_start_.clear();
+        bucket_scale_ = 0.0;
+    }
 }
 
 ScrambledZipfianGenerator::ScrambledZipfianGenerator(std::uint64_t n,

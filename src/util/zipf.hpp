@@ -5,11 +5,26 @@
  * Used by the YCSB-like key-value workload and the skewed-region
  * generators; memory access frequencies typically follow a Zipfian or
  * Pareto distribution (ArtMem paper Section 4.3, citing [8, 10]).
+ *
+ * The sampler's semantics are the Gray et al. closed form (rank_of()).
+ * Because that form costs one libm pow() per draw and workload
+ * generation dominates simulator wall time (DESIGN.md §9), construction
+ * additionally builds an inverse-CDF boundary table for the hottest
+ * ranks: boundary[r] is the bitwise-smallest double u for which the
+ * closed form returns a rank > r, found by bisection over the double
+ * bit space and verified against the closed form at and around every
+ * boundary. A draw that lands inside the table indexes a uniform
+ * bucket grid for a start rank and linearly scans at most a couple of
+ * boundaries; any other draw (and any table whose verification failed)
+ * takes the closed form. Both paths return bit-identical ranks for
+ * every representable u — enforced by tests/test_diff_model.cpp, which
+ * cross-checks millions of draws.
  */
 #ifndef ARTMEM_UTIL_ZIPF_HPP
 #define ARTMEM_UTIL_ZIPF_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -30,7 +45,21 @@ class ZipfianGenerator
     ZipfianGenerator(std::uint64_t n, double theta = 0.99);
 
     /** Draw the next item rank; rank 0 is the most popular item. */
-    std::uint64_t next(Rng& rng);
+    std::uint64_t
+    next(Rng& rng)
+    {
+        const double u = rng.next_double();
+        if (!boundaries_.empty() && u < boundaries_.back())
+            return rank_from_table(u);
+        return rank_of(u);
+    }
+
+    /**
+     * The reference closed form: the rank the Gray et al. method
+     * assigns to unit draw @p u. Public so the differential tests can
+     * pit it against the table path.
+     */
+    std::uint64_t rank_of(double u) const;
 
     /** Number of items. */
     std::uint64_t item_count() const { return n_; }
@@ -38,8 +67,34 @@ class ZipfianGenerator
     /** Skew exponent. */
     double theta() const { return theta_; }
 
+    /** Ranks covered by the verified fast-path table (0 if disabled). */
+    std::size_t table_ranks() const { return boundaries_.size(); }
+
   private:
     static double zeta(std::uint64_t n, double theta);
+
+    void build_table();
+
+    /**
+     * Table lookup for u < boundaries_.back(). The bucket grid gives a
+     * start rank; the scan below is correct for any start hint (it
+     * walks to the exact upper bound in both directions), so floating
+     * rounding in the bucket index cannot change the result — only add
+     * a step to the scan.
+     */
+    std::uint64_t
+    rank_from_table(double u) const
+    {
+        auto b = static_cast<std::size_t>(u * bucket_scale_);
+        if (b >= bucket_start_.size())
+            b = bucket_start_.size() - 1;
+        std::size_t r = bucket_start_[b];
+        while (r > 0 && boundaries_[r - 1] > u)
+            --r;
+        while (r < boundaries_.size() && boundaries_[r] <= u)
+            ++r;
+        return r;
+    }
 
     std::uint64_t n_;
     double theta_;
@@ -47,6 +102,14 @@ class ZipfianGenerator
     double zetan_;
     double eta_;
     double zeta2theta_;
+    /** 1.0 + 0.5^theta, the rank-1 cutoff of the closed form. */
+    double threshold12_;
+    /** boundaries_[r]: smallest u whose closed-form rank exceeds r. */
+    std::vector<double> boundaries_;
+    /** Per-bucket start rank over a uniform u grid covering the table. */
+    std::vector<std::uint16_t> bucket_start_;
+    /** Buckets per unit u: bucket_start_.size() / boundaries_.back(). */
+    double bucket_scale_ = 0.0;
 };
 
 /**
