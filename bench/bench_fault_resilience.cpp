@@ -14,10 +14,16 @@
  * failure counts, and suppressed samples. The fault schedule is seeded
  * and fully deterministic, so runs are reproducible bit-for-bit.
  *
- * Usage: bench_fault_resilience [--workload=ycsb] [--fault-seed=1]
+ * With --tx the sweep additionally runs every scenario (plus the
+ * abort_storm write-storm scenario) under the transactional migration
+ * engine and appends its abort/retry columns; without the flag the
+ * output is byte-identical to what it was before the engine existed.
+ *
+ * Usage: bench_fault_resilience [--workload=ycsb] [--fault-seed=1] [--tx]
  *                               [--accesses=N] [--seed=N] [--quick] [--csv]
  */
 #include <map>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "memsim/fault_injector.hpp"
@@ -28,27 +34,41 @@ main(int argc, char** argv)
     using namespace artmem;
     using namespace artmem::bench;
     const auto opt = BenchOptions::parse(argc, argv, 4000000,
-                                         {"workload", "fault-seed"});
+                                         {"workload", "fault-seed", "tx"});
     const auto args = CliArgs::parse(argc, argv);
     const std::string workload = args.get_string("workload", "ycsb");
     const auto fault_seed =
         static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+    const bool with_tx = args.get_bool("tx", false);
+
+    std::vector<std::string_view> scenarios;
+    for (const auto scenario : memsim::fault_scenario_names())
+        scenarios.push_back(scenario);
+    if (with_tx)
+        scenarios.push_back("abort_storm");
 
     std::cout << "Fault resilience: workload=" << workload
               << " ratio=1:4 accesses=" << opt.accesses
-              << " seed=" << opt.seed << " fault-seed=" << fault_seed
-              << "\n";
+              << " seed=" << opt.seed << " fault-seed=" << fault_seed;
+    if (with_tx)
+        std::cout << " tx=on";
+    std::cout << "\n";
 
     // Every scenario x policy cell is independent; the "vs clean"
     // column is derived after the sweep from the "none" scenario's
     // results, so parallel execution cannot reorder the arithmetic.
     sweep::SweepSpec sweepspec;
-    for (const auto scenario : memsim::fault_scenario_names()) {
+    for (const auto scenario : scenarios) {
         for (const auto policy : sim::policy_names()) {
             auto spec =
                 make_spec(opt, workload, std::string(policy), {1, 4});
             spec.engine.faults =
                 memsim::make_fault_scenario(scenario, fault_seed);
+            if (with_tx) {
+                spec.engine.tx.enabled = true;
+                spec.engine.tx.write_ratio = 0.02;
+                spec.engine.check_invariants = true;
+            }
             sweepspec.add(std::move(spec),
                           {std::string(scenario), std::string(policy)});
         }
@@ -59,20 +79,24 @@ main(int argc, char** argv)
     std::map<std::string, std::uint64_t> clean_runtime;
 
     std::size_t job = 0;
-    for (const auto scenario : memsim::fault_scenario_names()) {
+    for (const auto scenario : scenarios) {
         std::cout << "\nScenario: " << scenario << "\n";
-        sweep::ResultSink table({"policy", "runtime (ms)", "vs clean",
-                                 "fast ratio", "migrated", "pinned",
-                                 "transient", "contended", "no_slot",
-                                 "pebs lost"});
+        std::vector<std::string> headers = {
+            "policy",    "runtime (ms)", "vs clean", "fast ratio",
+            "migrated",  "pinned",       "transient", "contended",
+            "no_slot",   "pebs lost"};
+        if (with_tx) {
+            headers.insert(headers.end(), {"tx aborts", "tx retries"});
+        }
+        sweep::ResultSink table(std::move(headers));
         for (const auto policy : sim::policy_names()) {
             const auto& r = runs[job++];
             if (scenario == "none")
                 clean_runtime[std::string(policy)] = r.runtime_ns;
             const double clean = static_cast<double>(
                 clean_runtime[std::string(policy)]);
-            table.row()
-                .cell(std::string(policy))
+            auto& row = table.row();
+            row.cell(std::string(policy))
                 .cell(r.seconds() * 1e3, 1)
                 .cell(static_cast<double>(r.runtime_ns) / clean, 3)
                 .cell(r.fast_ratio, 3)
@@ -82,6 +106,8 @@ main(int argc, char** argv)
                 .cell(r.totals.failed_contended)
                 .cell(r.totals.failed_no_slot)
                 .cell(r.pebs_suppressed);
+            if (with_tx)
+                row.cell(r.totals.tx_aborted).cell(r.totals.tx_retries);
         }
         emit(table, opt);
     }

@@ -234,6 +234,30 @@ BENCHMARK_CAPTURE(BM_SimThroughput, ycsb, "ycsb")
 BENCHMARK_CAPTURE(BM_SimThroughput, s2, "s2")
     ->Unit(benchmark::kMillisecond);
 
+void
+BM_SimThroughputTxOff(benchmark::State& state)
+{
+    // The transactional engine left at its default (off) must cost the
+    // batched hot path nothing: the machine never allocates a TxState
+    // and every tx hook reduces to a never-taken flag test. This entry
+    // is gated in BENCH_hotpath.json at the same floor as the plain
+    // ycsb run — a disabled-engine overhead would fail the gate.
+    sim::RunSpec spec;
+    spec.workload = "ycsb";
+    spec.policy = "artmem";
+    spec.ratio = {1, 4};
+    spec.accesses = 2000000;
+    spec.seed = 42;
+    spec.engine.tx = memsim::TxConfig{};
+    for (auto _ : state) {
+        const auto r = sim::run_experiment(spec);
+        benchmark::DoNotOptimize(r.fast_ratio);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(spec.accesses));
+}
+BENCHMARK(BM_SimThroughputTxOff)->Unit(benchmark::kMillisecond);
+
 /** Prints the Section 6.4 summary around the google-benchmark run. */
 class OverheadReporter : public benchmark::ConsoleReporter
 {

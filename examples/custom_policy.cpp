@@ -57,7 +57,11 @@ class SimpleHot final : public policies::Policy
         for (PageId page : candidates_) {
             if (m.free_pages(memsim::Tier::kFast) == 0)
                 break;  // never demotes: stops when DRAM is full
-            m.migrate(page, memsim::Tier::kFast);
+            // migrate() returns a typed result that must be consumed;
+            // a failed promotion (pinned page, lost race for the last
+            // slot) simply moves on to the next candidate.
+            if (!m.migrate(page, memsim::Tier::kFast))
+                continue;
         }
         candidates_.clear();
         // Forget stale counts every few intervals (a crude cooling).

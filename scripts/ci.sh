@@ -16,13 +16,19 @@
 #      configs/telemetry_smoke.cfg; the Chrome trace and metrics files
 #      must be valid JSON (python3 -m json.tool) and a second identical
 #      seeded run must reproduce the metrics and trace byte-for-byte,
-#   7. perf-regression smoke: scripts/check_perf.sh runs the end-to-end
+#   7. transactional-migration smoke: a traced --tx-migration run under
+#      --fault-scenario=abort_storm with --check-invariants executed
+#      twice and diffed byte-for-byte (stdout + both trace files), plus
+#      a plain run diffed against an explicit --tx-migration=false run
+#      (the disabled engine must be a strict no-op through the whole
+#      CLI path),
+#   8. perf-regression smoke: scripts/check_perf.sh runs the end-to-end
 #      hot-path throughput benchmarks (bench_overheads --quick) and
 #      compares accesses/sec against BENCH_hotpath.json with a 30%
 #      tolerance,
-#   8. (optional, slow) sanitizers: pass --sanitizers to append
+#   9. (optional, slow) sanitizers: pass --sanitizers to append
 #      scripts/check_sanitizers.sh,
-#   9. (optional, slow) coverage: pass --coverage to append
+#  10. (optional, slow) coverage: pass --coverage to append
 #      scripts/check_coverage.sh (instrumented build + line-coverage
 #      floor on src/memsim and src/lru).
 #
@@ -44,19 +50,19 @@ for arg in "$@"; do
     esac
 done
 
-echo "==> [1/7] default build + tests"
+echo "==> [1/8] default build + tests"
 cmake -B build -S . > /dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "==> [2/7] strict build (ARTMEM_STRICT=ON)"
+echo "==> [2/8] strict build (ARTMEM_STRICT=ON)"
 cmake -B build-strict -S . -DARTMEM_STRICT=ON > /dev/null
 cmake --build build-strict -j "${jobs}"
 
-echo "==> [3/7] lint"
+echo "==> [3/8] lint"
 scripts/check_lint.sh build
 
-echo "==> [4/7] invariant-checked fault sweep"
+echo "==> [4/8] invariant-checked fault sweep"
 for scenario in none migration degrade blackout pressure; do
     echo "--- scenario ${scenario}"
     ./build/tools/artmem run --workload=s2 --policy=artmem --ratio=1:4 \
@@ -64,7 +70,7 @@ for scenario in none migration degrade blackout pressure; do
         --check-invariants
 done
 
-echo "==> [5/7] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
+echo "==> [5/8] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
 ./build/bench/bench_fig7_main --csv --accesses=200000 --jobs=1 \
     > build/fig7_jobs1.csv
 ./build/bench/bench_fig7_main --csv --accesses=200000 --jobs=4 \
@@ -72,7 +78,7 @@ echo "==> [5/7] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
 cmp build/fig7_jobs1.csv build/fig7_jobs4.csv
 echo "sweep output identical across --jobs 1 and --jobs 4"
 
-echo "==> [6/7] telemetry smoke (traced run, JSON validity, byte-identity)"
+echo "==> [6/8] telemetry smoke (traced run, JSON validity, byte-identity)"
 ./build/examples/masim_runner configs/telemetry_smoke.cfg \
     --policy=artmem --ratio=1:4 \
     --metrics-out=build/telemetry_a.metrics.json \
@@ -88,7 +94,22 @@ cmp build/telemetry_a.jsonl build/telemetry_b.jsonl
 cmp build/telemetry_a.json build/telemetry_b.json
 echo "telemetry outputs valid JSON and byte-identical across reruns"
 
-echo "==> [7/7] perf-regression smoke (hot-path throughput)"
+echo "==> [7/8] transactional-migration smoke (abort storm, byte-identity)"
+tx_run=(./build/tools/artmem run --workload=ycsb --policy=artmem
+    --ratio=1:4 --accesses=800000 --check-invariants)
+"${tx_run[@]}" --tx-migration --tx-write-ratio=0.05 \
+    --fault-scenario=abort_storm --trace-out=build/tx_a > build/tx_a.out
+"${tx_run[@]}" --tx-migration --tx-write-ratio=0.05 \
+    --fault-scenario=abort_storm --trace-out=build/tx_b > build/tx_b.out
+cmp build/tx_a.out build/tx_b.out
+cmp build/tx_a.jsonl build/tx_b.jsonl
+cmp build/tx_a.json build/tx_b.json
+"${tx_run[@]}" > build/tx_off_a.out
+"${tx_run[@]}" --tx-migration=false > build/tx_off_b.out
+cmp build/tx_off_a.out build/tx_off_b.out
+echo "abort-storm reruns byte-identical; disabled engine is a no-op"
+
+echo "==> [8/8] perf-regression smoke (hot-path throughput)"
 scripts/check_perf.sh build
 
 if [[ "${run_sanitizers}" -eq 1 ]]; then

@@ -218,7 +218,7 @@ ArtMem::collect_promotion_candidates(std::size_t want,
                 break;
             if (m.is_allocated(page) &&
                 m.tier_of_unchecked(page) == Tier::kSlow &&
-                !backed_off(page)) {
+                !backed_off(page) && !m.tx_page_inflight(page)) {
                 out.push_back(page);
             }
         }
@@ -236,7 +236,7 @@ ArtMem::collect_promotion_candidates(std::size_t want,
              page = lists_->next(page)) {
             if (bins_->count(page) >= threshold_ && m.is_allocated(page) &&
                 m.tier_of_unchecked(page) == Tier::kSlow &&
-                !backed_off(page)) {
+                !backed_off(page) && !m.tx_page_inflight(page)) {
                 out.push_back(page);
             }
         }
@@ -266,11 +266,49 @@ ArtMem::note_migration_failure(PageId page, memsim::MigrationResult result)
         retry_after_[page] = periods_ + 256;
         return;
     }
+    if (result.status == memsim::MigrateStatus::kTxAbort) {
+        // A concurrent write aborted the in-flight copy: the page is
+        // write-hot *right now*, which is different from being pinned
+        // (futile forever) or a plain transient (random). Back off
+        // twice as hard per failure so the write burst can pass, but
+        // cap sooner — bursts end, pins don't.
+        const std::uint8_t streak = static_cast<std::uint8_t>(
+            std::min<int>(fail_streak_[page] + 1, 4));
+        fail_streak_[page] = streak;
+        retry_after_[page] = periods_ + (2ull << streak);
+        return;
+    }
     // Transient: exponential backoff, capped at 64 periods.
     const std::uint8_t streak =
         static_cast<std::uint8_t>(std::min<int>(fail_streak_[page] + 1, 6));
     fail_streak_[page] = streak;
     retry_after_[page] = periods_ + (1ull << streak);
+}
+
+void
+ArtMem::on_tx_resolved(PageId page, memsim::Tier src, memsim::Tier dst,
+                       bool committed)
+{
+    (void)src;
+    if (!initialized())
+        return;
+    if (committed) {
+        lists_->remove(page);
+        lists_->insert_head(page, dst == Tier::kFast
+                                      ? lru::ListId::kFastActive
+                                      : lru::ListId::kSlowInactive);
+        note_migration_success(page);
+        return;
+    }
+    note_migration_failure(page, {memsim::MigrateStatus::kTxAbort});
+    if (dst == Tier::kFast) {
+        // Aborted promotion: the page is still slow-resident and still
+        // hot enough to have been a candidate. Re-home it so the next
+        // unbacked-off period can find it; aborted demotions stay
+        // off-list like any other failed demotion.
+        lists_->remove(page);
+        lists_->insert_head(page, lru::ListId::kSlowActive);
+    }
 }
 
 std::size_t
@@ -284,6 +322,11 @@ ArtMem::demote_for_room(std::size_t need)
         if (result.ok()) {
             // Demoted pages join the slow inactive head: cold but recent.
             lists_->insert_head(page, lru::ListId::kSlowInactive);
+            ++demoted;
+        } else if (result.pending()) {
+            // Transactional open: the room arrives at commit, and
+            // on_tx_resolved() re-homes (or backs off) the page. Count
+            // it so the victim loops don't over-demote.
             ++demoted;
         } else if (result.faulted()) {
             // The page stays resident but leaves the lists (same as the
@@ -313,7 +356,8 @@ ArtMem::demote_for_room(std::size_t need)
             static_cast<PageId>((cold_scan_cursor_ + 1) % pages);
         ++scanned;
         if (m.is_allocated(page) && m.tier_of_unchecked(page) == Tier::kFast &&
-            lists_->where(page) == lru::ListId::kNone && !backed_off(page)) {
+            lists_->where(page) == lru::ListId::kNone && !backed_off(page) &&
+            !m.tx_page_inflight(page)) {
             demote_page(page);
         }
     }
@@ -357,6 +401,11 @@ ArtMem::perform_migration(Bytes budget)
                 // Aggressive re-insertion: always the fast active head.
                 lists_->insert_head(page, lru::ListId::kFastActive);
                 note_migration_success(page);
+                ++promoted;
+            } else if (result.pending()) {
+                // Transactional open: the budget is spent either way;
+                // on_tx_resolved() re-homes the page at commit or backs
+                // it off at abort. Off-list until then.
                 ++promoted;
             } else if (result.faulted()) {
                 // Skip-and-requeue: the page stays a candidate for later

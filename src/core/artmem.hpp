@@ -94,6 +94,8 @@ class ArtMem final : public policies::Policy
     void init(memsim::TieredMachine& machine) override;
     void on_samples(std::span<const memsim::PebsSample> samples) override;
     void on_interval(SimTimeNs now) override;
+    void on_tx_resolved(PageId page, memsim::Tier src, memsim::Tier dst,
+                        bool committed) override;
     void set_telemetry(telemetry::Telemetry* telemetry) override;
 
     /** Hotness threshold currently in force. */

@@ -48,7 +48,7 @@ FaultConfig::any_enabled() const
     return pinned_fraction > 0.0 || transient_rate > 0.0 ||
            contended_rate > 0.0 || degrade_period_ns > 0 ||
            blackout_period_ns > 0 || sample_drop_rate > 0.0 ||
-           pressure_period_ns > 0;
+           pressure_period_ns > 0 || write_storm_period_ns > 0;
 }
 
 void
@@ -67,9 +67,12 @@ FaultConfig::validate() const
     if (degrade_bandwidth_factor < 1.0)
         fatal("FaultConfig: degrade_bandwidth_factor must be >= 1, got ",
               degrade_bandwidth_factor);
+    check_rate(write_storm_rate, "write_storm_rate");
     check_window(degrade_period_ns, degrade_duration_ns, "degrade");
     check_window(blackout_period_ns, blackout_duration_ns, "blackout");
     check_window(pressure_period_ns, pressure_duration_ns, "pressure");
+    check_window(write_storm_period_ns, write_storm_duration_ns,
+                 "write_storm");
     if (degrade_period_ns > 0 && degrade_duration_ns == 0)
         fatal("FaultConfig: degrade window enabled with zero duration");
     if (blackout_period_ns > 0 && blackout_duration_ns == 0)
@@ -78,6 +81,11 @@ FaultConfig::validate() const
         (pressure_duration_ns == 0 || pressure_fraction == 0.0)) {
         fatal("FaultConfig: pressure window enabled with zero duration ",
               "or zero pressure_fraction");
+    }
+    if (write_storm_period_ns > 0 &&
+        (write_storm_duration_ns == 0 || write_storm_rate == 0.0)) {
+        fatal("FaultConfig: write_storm window enabled with zero duration ",
+              "or zero write_storm_rate");
     }
 }
 
@@ -105,6 +113,9 @@ parse_fault_config(const KvConfig& config)
         "fault.pressure_fraction",
         "fault.pressure_period_ms",
         "fault.pressure_duration_ms",
+        "fault.write_storm_rate",
+        "fault.write_storm_period_ms",
+        "fault.write_storm_duration_ms",
     };
     for (const auto& key : config.keys()) {
         const bool known =
@@ -132,6 +143,9 @@ parse_fault_config(const KvConfig& config)
     fc.pressure_fraction = config.get_double("fault.pressure_fraction", 0.0);
     fc.pressure_period_ns = ms("fault.pressure_period_ms");
     fc.pressure_duration_ns = ms("fault.pressure_duration_ms");
+    fc.write_storm_rate = config.get_double("fault.write_storm_rate", 0.0);
+    fc.write_storm_period_ns = ms("fault.write_storm_period_ms");
+    fc.write_storm_duration_ns = ms("fault.write_storm_duration_ms");
     fc.validate();
     return fc;
 }
@@ -179,6 +193,15 @@ make_fault_scenario(std::string_view name, std::uint64_t seed)
         fc.pressure_duration_ns = 20000000; // 20 ms
         return fc;
     }
+    if (name == "abort_storm") {
+        // Write bursts against in-flight transactions, 40% duty. Only
+        // bites under --tx-migration: without an installed tx engine no
+        // page is ever in flight, so the storm is never consulted.
+        fc.write_storm_rate = 0.75;
+        fc.write_storm_period_ns = 20000000;  // 20 ms
+        fc.write_storm_duration_ns = 8000000; // 8 ms
+        return fc;
+    }
     fatal("make_fault_scenario: unknown scenario '", std::string(name), "'");
 }
 
@@ -201,6 +224,9 @@ FaultInjector::FaultInjector(const FaultConfig& config,
     degrade_offset_ = offset(config_.degrade_period_ns);
     blackout_offset_ = offset(config_.blackout_period_ns);
     pressure_offset_ = offset(config_.pressure_period_ns);
+    // Drawn after the original three so their offsets (and thus every
+    // pre-existing scenario's schedule) are unchanged by this class.
+    write_storm_offset_ = offset(config_.write_storm_period_ns);
 }
 
 double
@@ -273,6 +299,17 @@ double
 FaultInjector::bandwidth_penalty(Tier tier, SimTimeNs now) const
 {
     return tier_degraded(tier, now) ? config_.degrade_bandwidth_factor : 1.0;
+}
+
+double
+FaultInjector::tx_write_storm_rate(SimTimeNs now) const
+{
+    if (config_.write_storm_period_ns == 0)
+        return 0.0;
+    return in_window(now, config_.write_storm_period_ns,
+                     config_.write_storm_duration_ns, write_storm_offset_)
+               ? config_.write_storm_rate
+               : 0.0;
 }
 
 bool

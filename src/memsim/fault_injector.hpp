@@ -18,7 +18,11 @@
  *  (c) PEBS sampling blackouts and drop bursts — windows where no
  *      samples are recorded, plus an independent per-access drop rate;
  *  (d) external fast-tier capacity pressure — a co-tenant reserving a
- *      fraction of fast-tier page slots during periodic windows.
+ *      fraction of fast-tier page slots during periodic windows;
+ *  (e) write storms — periodic windows in which accesses to pages the
+ *      transactional migration engine has in flight (or dual-resident)
+ *      are classified as writes with elevated probability, aborting
+ *      transactions in bursts (only consulted when TxConfig::enabled).
  *
  * Determinism: windows derive purely from simulated time plus a
  * seed-derived phase offset, and per-event draws hash a monotonically
@@ -88,6 +92,20 @@ struct FaultConfig {
     /** Pressure window length within each period. */
     SimTimeNs pressure_duration_ns = 0;
 
+    // --- (e) write storms (transactional migration aborts) ---------------
+    /**
+     * Write probability for accesses to in-flight / dual-resident pages
+     * while a storm window is active. Only consulted by the
+     * transactional migration engine (TxConfig::enabled); it raises the
+     * engine's baseline write_ratio inside windows, aborting in-flight
+     * transactions in bursts ("abort storm").
+     */
+    double write_storm_rate = 0.0;
+    /** Storm period (simulated ns); 0 disables the class. */
+    SimTimeNs write_storm_period_ns = 0;
+    /** Storm window length within each period. */
+    SimTimeNs write_storm_duration_ns = 0;
+
     /** True if any fault class is active. */
     bool any_enabled() const;
 
@@ -109,7 +127,9 @@ std::vector<std::string_view> fault_scenario_names();
 
 /**
  * Build one of the named scenarios: "none", "migration", "degrade",
- * "blackout", or "pressure". fatal() on unknown names.
+ * "blackout", "pressure", or "abort_storm". fatal() on unknown names.
+ * "abort_storm" is not in fault_scenario_names() — it only has teeth
+ * under --tx-migration, so the default bench sweeps skip it.
  */
 FaultConfig make_fault_scenario(std::string_view name, std::uint64_t seed);
 
@@ -167,6 +187,15 @@ class FaultInjector
     /** Fast-tier slots held by the co-tenant at @p now. */
     std::size_t reserved_fast_pages(SimTimeNs now) const;
 
+    // --- (e) write storms -------------------------------------------------
+
+    /**
+     * Write probability a storm imposes on tx-flagged pages at @p now:
+     * write_storm_rate inside a window, 0 outside. Pure function of
+     * simulated time — consumes no draws.
+     */
+    double tx_write_storm_rate(SimTimeNs now) const;
+
     /** Draws consumed so far (tests: schedule progress). */
     std::uint64_t draws() const { return draw_counter_; }
 
@@ -201,6 +230,7 @@ class FaultInjector
     SimTimeNs degrade_offset_ = 0;
     SimTimeNs blackout_offset_ = 0;
     SimTimeNs pressure_offset_ = 0;
+    SimTimeNs write_storm_offset_ = 0;
     std::uint64_t draw_counter_ = 0;
     std::uint64_t transient_aborts_ = 0;
     std::uint64_t contended_hits_ = 0;

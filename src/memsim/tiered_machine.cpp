@@ -1,5 +1,7 @@
 #include "memsim/tiered_machine.hpp"
 
+#include <algorithm>
+
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
@@ -29,6 +31,14 @@ migrate_status_name(MigrateStatus status)
         return "copy_aborted";
     case MigrateStatus::kDstContended:
         return "dst_contended";
+    case MigrateStatus::kTxOpened:
+        return "tx_opened";
+    case MigrateStatus::kTxInFlight:
+        return "tx_in_flight";
+    case MigrateStatus::kTxBusy:
+        return "tx_busy";
+    case MigrateStatus::kTxAbort:
+        return "tx_abort";
     }
     return "unknown";
 }
@@ -70,9 +80,15 @@ TieredMachine::allocate(PageId page)
     // is also full the reservation yields: the co-tenant's hold is soft
     // and must never make allocation fail.
     Tier tier = free_pages(Tier::kFast) > 0 ? Tier::kFast : Tier::kSlow;
-    if (tier == Tier::kSlow && used_[1] >= capacity_[1])
+    if (tier == Tier::kSlow && used_[1] >= capacity_[1] &&
+        (tx_ == nullptr || !tx_reclaim_slot(Tier::kSlow)))
         tier = Tier::kFast;
-    if (used_[static_cast<int>(tier)] >= capacity_[static_cast<int>(tier)])
+    const int ti = static_cast<int>(tier);
+    // In transactional mode a "full" tier may hold reclaimable dual
+    // copies; evict one rather than failing the allocation.
+    if (used_[ti] >= capacity_[ti] && tx_ != nullptr)
+        (void)tx_reclaim_slot(tier);
+    if (used_[ti] >= capacity_[ti])
         panic("TieredMachine: both tiers full on allocation");
     ++used_[static_cast<int>(tier)];
     flags_[page] = static_cast<std::uint8_t>(
@@ -105,6 +121,8 @@ TieredMachine::access(PageId page)
         now_ += latency_[t];
     ++totals_.accesses[t];
     ++window_.accesses[t];
+    if (flags & kTxAccessMask) [[unlikely]]
+        now_ += tx_on_access(page, now_);
     if (flags & kTrapBit) [[unlikely]] {
         flags &= static_cast<std::uint8_t>(~kTrapBit);
         now_ += config_.hint_fault_cost_ns;
@@ -149,6 +167,12 @@ TieredMachine::batch_loop(const PageId* pages, std::size_t n,
         else
             now += lat[t];
         ++acc[t];
+        if (f & kTxAccessMask) [[unlikely]] {
+            // tx_on_access touches only used_/flags_/tx_ state and the
+            // tx counters — nothing shadowed in locals — and returns
+            // any time charge, so no flush is needed.
+            now += tx_on_access(page, now);
+        }
         if (f & kTrapBit) [[unlikely]] {
             flags[page] &= static_cast<std::uint8_t>(~kTrapBit);
             now += config_.hint_fault_cost_ns;
@@ -299,6 +323,8 @@ TieredMachine::migrate(PageId page, Tier dst)
     const Tier src = tier_of(page);
     if (src == dst)
         return {MigrateStatus::kSameTier};
+    if (tx_ != nullptr)
+        return tx_migrate(page, src, dst);
     if (faults_ != nullptr && faults_->page_pinned(page)) [[unlikely]] {
         record_failure(MigrateStatus::kPagePinned, page);
         return {MigrateStatus::kPagePinned};
@@ -353,6 +379,8 @@ TieredMachine::exchange(PageId a, PageId b)
     const Tier tb = tier_of(b);
     if (ta == tb)
         return {MigrateStatus::kSameTier};
+    if (tx_ != nullptr)
+        return tx_exchange(a, b, ta, tb);
     if (faults_ != nullptr) [[unlikely]] {
         if (faults_->page_pinned(a) || faults_->page_pinned(b)) {
             record_failure(MigrateStatus::kPagePinned, a);
@@ -389,6 +417,383 @@ TieredMachine::exchange(PageId a, PageId b)
         metrics_->observe(hist_migration_cost_,
                           static_cast<double>(now_ - start));
     return {MigrateStatus::kOk};
+}
+
+void
+TieredMachine::install_tx(const TxConfig& config)
+{
+    config.validate();
+    if (!config.enabled) {
+        tx_.reset();
+        return;
+    }
+    tx_ = std::make_unique<TxState>(config);
+}
+
+MigrationResult
+TieredMachine::tx_refuse(MigrateStatus status, PageId page)
+{
+    ++totals_.failed_tx_busy;
+    ++window_.failed_tx_busy;
+    if (trace_migration_ != nullptr) [[unlikely]] {
+        trace_migration_->instant(
+            telemetry::Category::kMigration, "migrate_fail", now_,
+            telemetry::Args()
+                .add("page", page)
+                .add("reason", migrate_status_name(status))
+                .str());
+    }
+    return {status};
+}
+
+MigrationResult
+TieredMachine::tx_free_flip(PageId page, Tier src, Tier dst)
+{
+    // The clean copy already lives in dst (non-exclusive residency):
+    // adopt it by swapping the primary/secondary roles. No copy, no
+    // device time — Nomad's free demotion of a still-clean page.
+    flags_[page] ^= kTierBit;
+    const int s = static_cast<int>(src);
+    const int d = static_cast<int>(dst);
+    --tx_->reclaimable[d];
+    ++tx_->reclaimable[s];
+    tx_->reclaim_queue[s].push_back(page);
+    ++totals_.tx_free_flips;
+    ++window_.tx_free_flips;
+    if (dst == Tier::kFast) {
+        ++totals_.promoted_pages;
+        ++window_.promoted_pages;
+    } else {
+        ++totals_.demoted_pages;
+        ++window_.demoted_pages;
+    }
+    if (trace_migration_ != nullptr) [[unlikely]] {
+        trace_migration_->instant(
+            telemetry::Category::kMigration, "tx_free_flip", now_,
+            telemetry::Args()
+                .add("page", page)
+                .add("dst", tier_name(dst))
+                .str());
+    }
+    return {MigrateStatus::kOk};
+}
+
+bool
+TieredMachine::tx_reclaim_slot(Tier tier)
+{
+    const int t = static_cast<int>(tier);
+    auto& queue = tx_->reclaim_queue[t];
+    while (!queue.empty()) {
+        const PageId page = queue.front();
+        queue.pop_front();
+        // Entries go stale when the copy was dropped, reclaimed, or
+        // flipped to the other tier since it was queued; skip those.
+        if ((flags_[page] & kDualBit) != 0 &&
+            other_tier(tier_of_unchecked(page)) == tier) {
+            tx_reclaim_page(page);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TieredMachine::tx_reclaim_page(PageId page)
+{
+    const Tier sec = other_tier(tier_of_unchecked(page));
+    flags_[page] &= static_cast<std::uint8_t>(~kDualBit);
+    --used_[static_cast<int>(sec)];
+    --tx_->reclaimable[static_cast<int>(sec)];
+    ++totals_.tx_dual_reclaims;
+    ++window_.tx_dual_reclaims;
+}
+
+MigrationResult
+TieredMachine::tx_migrate(PageId page, Tier src, Tier dst)
+{
+    if (flags_[page] & kDualBit)
+        return tx_free_flip(page, src, dst);
+    if (flags_[page] & kInFlightBit)
+        return tx_refuse(MigrateStatus::kTxInFlight, page);
+    if (faults_ != nullptr && faults_->page_pinned(page)) [[unlikely]] {
+        record_failure(MigrateStatus::kPagePinned, page);
+        return {MigrateStatus::kPagePinned};
+    }
+    if (tx_->inflight.size() >= tx_->config.max_inflight)
+        return tx_refuse(MigrateStatus::kTxBusy, page);
+    const int d = static_cast<int>(dst);
+    // The shadow copy charges a destination slot for the whole window;
+    // a tier full of dual copies yields one slot on demand.
+    if (used_[d] >= capacity_[d] && !tx_reclaim_slot(dst)) {
+        record_failure(MigrateStatus::kNoFreeSlot, page);
+        return {MigrateStatus::kNoFreeSlot};
+    }
+    if (faults_ != nullptr) [[unlikely]] {
+        // Co-tenant pressure: the free slot exists but is reserved.
+        if (reserved_pages(dst) > 0 && free_pages(dst) == 0) {
+            record_failure(MigrateStatus::kDstContended, page);
+            return {MigrateStatus::kDstContended};
+        }
+        // No mid-copy transient draw here: in transactional mode the
+        // abort channel is a write observed during the window instead.
+        if (faults_->migration_contended()) {
+            record_failure(MigrateStatus::kDstContended, page);
+            return {MigrateStatus::kDstContended};
+        }
+    }
+    std::uint8_t& f = flags_[page];
+    if (f & kTxAbortedBit) {
+        f &= static_cast<std::uint8_t>(~kTxAbortedBit);
+        ++totals_.tx_retries;
+        ++window_.tx_retries;
+    }
+    ++used_[d];
+    f |= kInFlightBit;
+    // Window length = the copy's device time at *current* bandwidth,
+    // so tier-degradation faults stretch it (more write exposure).
+    const SimTimeNs busy = migration_cost(src, dst);
+    tx_->inflight.push_back(TxState::Entry{page, page, src, dst,
+                                           now_ + busy, busy,
+                                           tx_->next_seq++,
+                                           TxState::Kind::kMigrate});
+    ++totals_.tx_opened;
+    ++window_.tx_opened;
+    if (trace_migration_ != nullptr) [[unlikely]] {
+        trace_migration_->instant(
+            telemetry::Category::kMigration, "tx_open", now_,
+            telemetry::Args()
+                .add("page", page)
+                .add("dst", tier_name(dst))
+                .str());
+    }
+    return {MigrateStatus::kTxOpened};
+}
+
+MigrationResult
+TieredMachine::tx_exchange(PageId a, PageId b, Tier ta, Tier tb)
+{
+    if ((flags_[a] | flags_[b]) & kInFlightBit)
+        return tx_refuse(MigrateStatus::kTxInFlight, a);
+    if (faults_ != nullptr) [[unlikely]] {
+        if (faults_->page_pinned(a) || faults_->page_pinned(b)) {
+            record_failure(MigrateStatus::kPagePinned, a);
+            return {MigrateStatus::kPagePinned};
+        }
+        if (faults_->migration_contended()) {
+            record_failure(MigrateStatus::kDstContended, a);
+            return {MigrateStatus::kDstContended};
+        }
+    }
+    if (tx_->inflight.size() >= tx_->config.max_inflight)
+        return tx_refuse(MigrateStatus::kTxBusy, a);
+    // The swap flips both primaries; a clean secondary copy would end
+    // up co-located with its new primary, so reclaim them up front.
+    if (flags_[a] & kDualBit)
+        tx_reclaim_page(a);
+    if (flags_[b] & kDualBit)
+        tx_reclaim_page(b);
+    for (const PageId page : {a, b}) {
+        if (flags_[page] & kTxAbortedBit) {
+            flags_[page] &= static_cast<std::uint8_t>(~kTxAbortedBit);
+            ++totals_.tx_retries;
+            ++window_.tx_retries;
+        }
+        flags_[page] |=
+            static_cast<std::uint8_t>(kInFlightBit | kTxExchangeBit);
+    }
+    // One transaction covers the pair; both copies run through a bounce
+    // buffer, so no shadow slot is charged in either tier.
+    const SimTimeNs busy = migration_cost(ta, tb) + migration_cost(tb, ta);
+    tx_->inflight.push_back(TxState::Entry{a, b, ta, tb, now_ + busy, busy,
+                                           tx_->next_seq++,
+                                           TxState::Kind::kExchange});
+    ++totals_.tx_opened;
+    ++window_.tx_opened;
+    if (trace_migration_ != nullptr) [[unlikely]] {
+        trace_migration_->instant(
+            telemetry::Category::kMigration, "tx_open", now_,
+            telemetry::Args().add("a", a).add("b", b).str());
+    }
+    return {MigrateStatus::kTxOpened};
+}
+
+SimTimeNs
+TieredMachine::tx_on_access(PageId page, SimTimeNs now)
+{
+    // Classify the access lazily: draws are consumed only for pages
+    // with an open transaction or a dual copy, so a run that never
+    // migrates consumes none.
+    double rate = tx_->config.write_ratio;
+    if (faults_ != nullptr) {
+        const double storm = faults_->tx_write_storm_rate(now);
+        if (storm > rate)
+            rate = storm;
+    }
+    if (rate <= 0.0 || !tx_->draw_write(rate))
+        return 0;
+    if (flags_[page] & kInFlightBit)
+        return tx_abort_page(page, now);
+    tx_drop_secondary(page, now);
+    return 0;
+}
+
+SimTimeNs
+TieredMachine::tx_abort_page(PageId page, SimTimeNs now)
+{
+    auto& inflight = tx_->inflight;
+    std::size_t idx = inflight.size();
+    for (std::size_t i = 0; i < inflight.size(); ++i) {
+        if (inflight[i].page == page || inflight[i].peer == page) {
+            idx = i;
+            break;
+        }
+    }
+    if (idx == inflight.size())
+        panic("TieredMachine: in-flight bit without an open tx on page ",
+              page);
+    const TxState::Entry entry = inflight[idx];
+    inflight[idx] = inflight.back();
+    inflight.pop_back();
+    if (entry.kind == TxState::Kind::kMigrate) {
+        flags_[entry.page] = static_cast<std::uint8_t>(
+            (flags_[entry.page] & ~kInFlightBit) | kTxAbortedBit);
+        // Release the shadow slot; the page never left the source.
+        --used_[static_cast<int>(entry.dst)];
+    } else {
+        for (const PageId p : {entry.page, entry.peer}) {
+            flags_[p] = static_cast<std::uint8_t>(
+                (flags_[p] & ~(kInFlightBit | kTxExchangeBit)) |
+                kTxAbortedBit);
+        }
+    }
+    // Half the copy's device time is wasted; only its contention share
+    // reaches application time, returned to the caller because the
+    // access loops hold the clock in a local.
+    const SimTimeNs wasted = entry.busy_ns / 2;
+    totals_.aborted_migration_ns += wasted;
+    window_.aborted_migration_ns += wasted;
+    ++totals_.tx_aborted;
+    ++window_.tx_aborted;
+    tx_->resolved.push_back(
+        TxState::Resolved{entry.page, entry.src, entry.dst, false});
+    if (trace_migration_ != nullptr) [[unlikely]] {
+        trace_migration_->instant(
+            telemetry::Category::kMigration, "tx_abort", now,
+            telemetry::Args().add("page", entry.page).str());
+    }
+    return static_cast<SimTimeNs>(static_cast<double>(wasted) *
+                                  config_.migration_contention);
+}
+
+void
+TieredMachine::tx_drop_secondary(PageId page, SimTimeNs now)
+{
+    const Tier sec = other_tier(tier_of_unchecked(page));
+    flags_[page] &= static_cast<std::uint8_t>(~kDualBit);
+    --used_[static_cast<int>(sec)];
+    --tx_->reclaimable[static_cast<int>(sec)];
+    ++totals_.tx_dual_drops;
+    ++window_.tx_dual_drops;
+    if (trace_migration_ != nullptr) [[unlikely]] {
+        trace_migration_->instant(
+            telemetry::Category::kMigration, "tx_dual_drop", now,
+            telemetry::Args().add("page", page).str());
+    }
+}
+
+void
+TieredMachine::tx_commit_entry(const TxState::Entry& entry)
+{
+    const SimTimeNs start = now_;
+    if (entry.kind == TxState::Kind::kMigrate) {
+        std::uint8_t& f = flags_[entry.page];
+        f &= static_cast<std::uint8_t>(~kInFlightBit);
+        if (entry.dst == Tier::kSlow)
+            f |= kTierBit;
+        else
+            f &= static_cast<std::uint8_t>(~kTierBit);
+        const int s = static_cast<int>(entry.src);
+        if (tx_->config.non_exclusive) {
+            // The source copy is still clean (a write would have
+            // aborted): keep it resident until the slot is wanted.
+            f |= kDualBit;
+            ++tx_->reclaimable[s];
+            tx_->reclaim_queue[s].push_back(entry.page);
+        } else {
+            --used_[s];
+        }
+        if (entry.dst == Tier::kFast) {
+            ++totals_.promoted_pages;
+            ++window_.promoted_pages;
+        } else {
+            ++totals_.demoted_pages;
+            ++window_.demoted_pages;
+        }
+    } else {
+        constexpr auto kClear =
+            static_cast<std::uint8_t>(~(kInFlightBit | kTxExchangeBit));
+        flags_[entry.page] &= kClear;
+        flags_[entry.peer] &= kClear;
+        flags_[entry.page] ^= kTierBit;
+        flags_[entry.peer] ^= kTierBit;
+        ++totals_.exchanges;
+        ++window_.exchanges;
+    }
+    totals_.migration_busy_ns += entry.busy_ns;
+    window_.migration_busy_ns += entry.busy_ns;
+    now_ += static_cast<SimTimeNs>(static_cast<double>(entry.busy_ns) *
+                                   config_.migration_contention);
+    ++totals_.tx_committed;
+    ++window_.tx_committed;
+    tx_->resolved.push_back(
+        TxState::Resolved{entry.page, entry.src, entry.dst, true});
+    if (trace_migration_ != nullptr) [[unlikely]] {
+        trace_migration_->complete(
+            telemetry::Category::kMigration, "tx_commit", start,
+            now_ - start, telemetry::Args().add("page", entry.page).str());
+    }
+    if (metrics_ != nullptr) [[unlikely]]
+        metrics_->observe(hist_migration_cost_,
+                          static_cast<double>(now_ - start));
+}
+
+std::size_t
+TieredMachine::poll_tx()
+{
+    if (tx_ == nullptr)
+        return 0;
+    auto& inflight = tx_->inflight;
+    std::vector<TxState::Entry> due;
+    for (std::size_t i = 0; i < inflight.size();) {
+        if (inflight[i].commit_time <= now_) {
+            due.push_back(inflight[i]);
+            inflight[i] = inflight.back();
+            inflight.pop_back();
+        } else {
+            ++i;
+        }
+    }
+    // Deterministic commit order regardless of table layout.
+    std::sort(due.begin(), due.end(),
+              [](const TxState::Entry& x, const TxState::Entry& y) {
+                  return x.commit_time != y.commit_time
+                             ? x.commit_time < y.commit_time
+                             : x.seq < y.seq;
+              });
+    for (const auto& entry : due)
+        tx_commit_entry(entry);
+    if (!tx_->resolved.empty()) {
+        // Every machine-state change lands before any callback runs;
+        // the handler may re-enter migrate()/exchange() and open new
+        // transactions, which must not invalidate this iteration.
+        std::vector<TxState::Resolved> events;
+        events.swap(tx_->resolved);
+        if (tx_handler_) {
+            for (const auto& ev : events)
+                tx_handler_(ev.page, ev.src, ev.dst, ev.committed);
+        }
+    }
+    return due.size();
 }
 
 void

@@ -29,6 +29,7 @@
 #include "memsim/fault_injector.hpp"
 #include "memsim/pebs.hpp"
 #include "memsim/tier.hpp"
+#include "memsim/tx_migration.hpp"
 #include "util/types.hpp"
 
 namespace artmem::memsim {
@@ -36,9 +37,16 @@ namespace artmem::memsim {
 /**
  * Why a migration did not complete. kNotAllocated/kSameTier are caller
  * errors (the request was meaningless), kNoFreeSlot is a capacity
- * condition, and the last three are injected faults: a permanently
- * pinned page, a transient mid-copy abort, and transient destination
- * contention (including co-tenant capacity pressure).
+ * condition, kPagePinned/kCopyAborted/kDstContended are injected
+ * faults (a permanently pinned page, a transient mid-copy abort, and
+ * transient destination contention including co-tenant capacity
+ * pressure), and the kTx* values belong to the transactional engine:
+ * kTxOpened is not a failure at all (a transaction is now in flight
+ * and will commit or abort later), kTxInFlight/kTxBusy are refusals
+ * (the page already has an open transaction / the in-flight table is
+ * full), and kTxAbort reports — via the resolution callback and
+ * failure-backoff paths, never from migrate() itself — that a
+ * concurrent write aborted an in-flight transaction.
  */
 enum class MigrateStatus : std::uint8_t {
     kOk = 0,
@@ -48,6 +56,10 @@ enum class MigrateStatus : std::uint8_t {
     kPagePinned,
     kCopyAborted,
     kDstContended,
+    kTxOpened,
+    kTxInFlight,
+    kTxBusy,
+    kTxAbort,
 };
 
 /** Printable status name. */
@@ -61,14 +73,36 @@ struct MigrationResult {
     bool ok() const { return status == MigrateStatus::kOk; }
 
     /**
+     * A transaction opened: the page is being copied in the background
+     * and will commit or abort at a later poll. Not ok() — the move has
+     * not happened yet — but not a failure either.
+     */
+    bool pending() const { return status == MigrateStatus::kTxOpened; }
+
+    /**
+     * The transactional engine refused the request outright: the page
+     * already has an open transaction, or the in-flight table is full.
+     * Retrying after the next decision boundary can succeed.
+     */
+    bool busy() const
+    {
+        return status == MigrateStatus::kTxInFlight ||
+               status == MigrateStatus::kTxBusy;
+    }
+
+    /**
      * The failure is transient: retrying later (backoff) can succeed.
-     * kNoFreeSlot counts as transient — capacity can be reclaimed.
+     * kNoFreeSlot counts as transient — capacity can be reclaimed —
+     * and so do the transactional refusals and write aborts.
      */
     bool transient() const
     {
         return status == MigrateStatus::kNoFreeSlot ||
                status == MigrateStatus::kCopyAborted ||
-               status == MigrateStatus::kDstContended;
+               status == MigrateStatus::kDstContended ||
+               status == MigrateStatus::kTxInFlight ||
+               status == MigrateStatus::kTxBusy ||
+               status == MigrateStatus::kTxAbort;
     }
 
     /** The page is permanently pinned; retries are futile. */
@@ -79,7 +113,8 @@ struct MigrationResult {
     {
         return status == MigrateStatus::kPagePinned ||
                status == MigrateStatus::kCopyAborted ||
-               status == MigrateStatus::kDstContended;
+               status == MigrateStatus::kDstContended ||
+               status == MigrateStatus::kTxAbort;
     }
 
     /** Contextual conversion preserves the old `if (migrate(...))` idiom. */
@@ -222,11 +257,18 @@ class TieredMachine
 
     /**
      * Free page slots in the tier, net of any slots the injected
-     * co-tenant is holding (capacity-pressure fault class).
+     * co-tenant is holding (capacity-pressure fault class). In
+     * transactional mode, dual-resident secondary copies count as free:
+     * their slots are reclaimed on demand when a migration or
+     * allocation needs them.
      */
     std::size_t free_pages(Tier t) const
     {
-        const std::size_t taken = used_pages(t) + reserved_pages(t);
+        std::size_t taken = used_pages(t) + reserved_pages(t);
+        if (tx_ != nullptr) {
+            const std::size_t r = tx_->reclaimable[static_cast<int>(t)];
+            taken -= r < taken ? r : taken;
+        }
         const std::size_t cap = capacity_pages(t);
         return cap > taken ? cap - taken : 0;
     }
@@ -254,19 +296,26 @@ class TieredMachine
     /**
      * Move an allocated page to @p dst, charging migration cost on
      * success (and a partial abort cost on injected mid-copy aborts).
+     * In transactional mode (install_tx) a successful request instead
+     * opens an in-flight transaction (kTxOpened) that commits at a
+     * later poll_tx(), or adopts an existing clean dual copy for free
+     * (kOk with zero cost).
      * @return typed result; not-ok (no state change) if the page is
      *         unallocated, already in @p dst, @p dst has no free slot,
-     *         or an injected fault fired.
+     *         or an injected fault fired. Discarding the result hides
+     *         migration failures from the caller — hence nodiscard.
      */
-    MigrationResult migrate(PageId page, Tier dst);
+    [[nodiscard]] MigrationResult migrate(PageId page, Tier dst);
 
     /**
      * Swap the tiers of two pages resident in different tiers (the
      * exchange migration AutoTiering uses when the fast tier is full).
+     * In transactional mode a successful request opens one in-flight
+     * transaction covering the pair (kTxOpened).
      * @return typed result; not-ok if the precondition does not hold or
      *         an injected fault fired.
      */
-    MigrationResult exchange(PageId a, PageId b);
+    [[nodiscard]] MigrationResult exchange(PageId a, PageId b);
 
     /**
      * Install the fault model for this run (engine: EngineConfig::faults).
@@ -291,6 +340,91 @@ class TieredMachine
         return (t == Tier::kFast && faults_ != nullptr)
                    ? faults_->reserved_fast_pages(now_)
                    : 0;
+    }
+
+    // --- transactional migration engine ---------------------------------
+
+    /** Called when an in-flight transaction resolves:
+     *  (page, src, dst, committed). Delivered from poll_tx(). */
+    using TxResolveHandler = std::function<void(PageId, Tier, Tier, bool)>;
+
+    /**
+     * Install (or with enabled=false remove) the transactional
+     * migration engine. Off — the default — is a strict no-op: no
+     * draws, no extra flag bits, bit-identical to the atomic engine.
+     */
+    void install_tx(const TxConfig& config);
+
+    /** True once transactional mode is installed. */
+    bool tx_enabled() const { return tx_ != nullptr; }
+
+    /** Engine configuration in force, or nullptr when off. */
+    const TxConfig* tx_config() const
+    {
+        return tx_ != nullptr ? &tx_->config : nullptr;
+    }
+
+    /** Install the resolution callback (one at a time). */
+    void set_tx_handler(TxResolveHandler handler)
+    {
+        tx_handler_ = std::move(handler);
+    }
+
+    /**
+     * Resolve every transaction whose in-flight window has closed
+     * (commit_time <= now()), in deterministic (commit_time, open
+     * order) order, then deliver all queued resolutions — aborts in
+     * occurrence order followed by these commits — to the handler.
+     * The engine calls this at every decision boundary.
+     * @return transactions committed by this poll.
+     */
+    std::size_t poll_tx();
+
+    /** Open transactions right now. */
+    std::size_t tx_inflight_count() const
+    {
+        return tx_ != nullptr ? tx_->inflight.size() : 0;
+    }
+
+    /** Dual-resident secondary copies currently charged to the tier. */
+    std::size_t tx_reclaimable_pages(Tier t) const
+    {
+        return tx_ != nullptr ? tx_->reclaimable[static_cast<int>(t)] : 0;
+    }
+
+    /** Write-classification draws consumed so far. */
+    std::uint64_t tx_write_draws() const
+    {
+        return tx_ != nullptr ? tx_->write_draws : 0;
+    }
+
+    /** Draws that classified an access as a write. */
+    std::uint64_t tx_write_hits() const
+    {
+        return tx_ != nullptr ? tx_->write_hits : 0;
+    }
+
+    /** True while the page has an open transaction. */
+    bool tx_page_inflight(PageId page) const
+    {
+        return (flags_[page] & kInFlightBit) != 0;
+    }
+
+    /** True while the page is non-exclusively resident in both tiers. */
+    bool tx_page_dual(PageId page) const
+    {
+        return (flags_[page] & kDualBit) != 0;
+    }
+
+    /**
+     * True while the page's open transaction holds a shadow copy that
+     * charges destination capacity (migrate transactions; exchange
+     * transactions copy through a bounce buffer and charge nothing).
+     */
+    bool tx_page_shadow(PageId page) const
+    {
+        return (flags_[page] & (kInFlightBit | kTxExchangeBit)) ==
+               kInFlightBit;
     }
 
     /**
@@ -355,6 +489,22 @@ class TieredMachine
         std::uint64_t failed_contended = 0;
         /** Device time wasted on aborted copies (injected faults only). */
         SimTimeNs aborted_migration_ns = 0;
+        /** Transactions opened (migrates and exchanges). */
+        std::uint64_t tx_opened = 0;
+        /** Transactions committed at a poll. */
+        std::uint64_t tx_committed = 0;
+        /** Transactions aborted by a concurrent write. */
+        std::uint64_t tx_aborted = 0;
+        /** Opens that retried a previously aborted page. */
+        std::uint64_t tx_retries = 0;
+        /** Free migrations: a clean dual copy was adopted in place. */
+        std::uint64_t tx_free_flips = 0;
+        /** Dual-resident copies invalidated by a write. */
+        std::uint64_t tx_dual_drops = 0;
+        /** Dual-resident copies reclaimed for capacity. */
+        std::uint64_t tx_dual_reclaims = 0;
+        /** Requests refused: page already in flight / table full. */
+        std::uint64_t failed_tx_busy = 0;
 
         /** Total accesses across tiers. */
         std::uint64_t total_accesses() const
@@ -378,7 +528,7 @@ class TieredMachine
         std::uint64_t migration_failures() const
         {
             return failed_no_slot + failed_pinned + failed_transient +
-                   failed_contended;
+                   failed_contended + tx_aborted + failed_tx_busy;
         }
     };
 
@@ -398,6 +548,13 @@ class TieredMachine
     static constexpr std::uint8_t kAllocatedBit = 0x2;
     static constexpr std::uint8_t kAccessedBit = 0x4;
     static constexpr std::uint8_t kTrapBit = 0x8;
+    // Transactional-engine bits; never set while tx mode is off.
+    static constexpr std::uint8_t kInFlightBit = 0x10;   // open transaction
+    static constexpr std::uint8_t kDualBit = 0x20;       // dual-resident
+    static constexpr std::uint8_t kTxAbortedBit = 0x40;  // last tx aborted
+    static constexpr std::uint8_t kTxExchangeBit = 0x80; // tx is an exchange
+    /** Access-path filter: only these bits need per-access tx work. */
+    static constexpr std::uint8_t kTxAccessMask = kInFlightBit | kDualBit;
 
     void allocate(PageId page);
     /** Shared fused loop behind the two access_batch() overloads. */
@@ -408,6 +565,19 @@ class TieredMachine
     void account_migration(Tier src, Tier dst);
     void record_failure(MigrateStatus status, PageId page);
     void charge_aborted_copy(Tier src, Tier dst);
+    MigrationResult tx_migrate(PageId page, Tier src, Tier dst);
+    MigrationResult tx_exchange(PageId a, PageId b, Tier ta, Tier tb);
+    MigrationResult tx_free_flip(PageId page, Tier src, Tier dst);
+    MigrationResult tx_refuse(MigrateStatus status, PageId page);
+    bool tx_reclaim_slot(Tier tier);
+    void tx_reclaim_page(PageId page);
+    /** Per-access tx hook for flagged pages; returns the application
+     *  time to charge (abort contention), so batch_loop can keep the
+     *  clock in a local. */
+    SimTimeNs tx_on_access(PageId page, SimTimeNs now);
+    SimTimeNs tx_abort_page(PageId page, SimTimeNs now);
+    void tx_drop_secondary(PageId page, SimTimeNs now);
+    void tx_commit_entry(const TxState::Entry& entry);
 
     MachineConfig config_;
     std::vector<std::uint8_t> flags_;
@@ -420,6 +590,9 @@ class TieredMachine
     FaultHandler fault_handler_;
     /** Null when fault-free (the default): zero-overhead fast path. */
     std::unique_ptr<FaultInjector> faults_;
+    /** Null when transactional mode is off (the default). */
+    std::unique_ptr<TxState> tx_;
+    TxResolveHandler tx_handler_;
     /** Telemetry attachments; all null when telemetry is off. */
     telemetry::Telemetry* telemetry_ = nullptr;
     telemetry::TraceSink* trace_migration_ = nullptr;

@@ -81,7 +81,8 @@ AutoNuma::demote_to_watermark()
             continue;
         }
         if (!m.test_and_clear_accessed(page)) {
-            if (m.migrate(page, memsim::Tier::kSlow))
+            const auto result = m.migrate(page, memsim::Tier::kSlow);
+            if (result.ok() || result.pending())
                 streak_[page] = 0;  // fresh PTE: fault stats reset
         }
     }
@@ -112,12 +113,13 @@ AutoNuma::on_interval(SimTimeNs now)
             if (m.free_pages(memsim::Tier::kFast) == 0)
                 demote_to_watermark();
             const auto result = m.migrate(page, memsim::Tier::kFast);
-            if (result.ok())
+            if (result.ok() || result.pending())
                 ++promoted;
-            else if (!result.faulted())
+            else if (!result.faulted() && !result.busy())
                 break;  // fast tier saturated and nothing demotable
-            // Injected faults (pinned page, aborted copy) only skip this
-            // page; the rest of the queue may still promote fine.
+            // Injected faults (pinned page, aborted copy) and busy
+            // transactional refusals only skip this page; the rest of
+            // the queue may still promote fine.
         }
     }
     promote_queue_.clear();

@@ -98,7 +98,8 @@ AutoTiering::on_interval(SimTimeNs now)
             continue;
         }
         if (m.free_pages(memsim::Tier::kFast) > 0) {
-            if (m.migrate(page, memsim::Tier::kFast))
+            const auto result = m.migrate(page, memsim::Tier::kFast);
+            if (result.ok() || result.pending())
                 ++exchanged;
             continue;
         }
@@ -109,7 +110,8 @@ AutoTiering::on_interval(SimTimeNs now)
         // victim (a margin of one fault avoids ping-pong between pages
         // of equal heat).
         if (fault_count_[page] > fault_count_[victim] + 1) {
-            if (m.exchange(page, victim))
+            const auto result = m.exchange(page, victim);
+            if (result.ok() || result.pending())
                 ++exchanged;
         }
     }

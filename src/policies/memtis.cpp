@@ -82,15 +82,21 @@ Memtis::on_interval(SimTimeNs now)
                 out_of_victims = true;
                 break;
             }
-            // Only a successful demotion counts against the rate limit;
-            // a failed one (pinned or aborted under fault injection)
-            // moved nothing, so the next victim is tried instead.
-            if (m.migrate(demote_[victim++], memsim::Tier::kSlow))
+            // Only a successful (or transactionally pending) demotion
+            // counts against the rate limit; a failed one (pinned or
+            // aborted under fault injection) moved nothing, so the
+            // next victim is tried instead.
+            const auto result =
+                m.migrate(demote_[victim++], memsim::Tier::kSlow);
+            if (result.ok() || result.pending())
                 ++moved;
+            if (result.pending())
+                break;  // the slot frees at commit, not now
         }
         if (out_of_victims)
             break;  // nothing cold to evict
-        if (m.migrate(page, memsim::Tier::kFast))
+        const auto result = m.migrate(page, memsim::Tier::kFast);
+        if (result.ok() || result.pending())
             ++moved;
     }
     if (auto* t = trace(telemetry::Category::kMigration)) {

@@ -40,11 +40,13 @@ MultiClock::sweep_slow_hand(std::size_t budget)
         }
         // Accessed again while a candidate: promote if space permits.
         if (promoted_this_tick_ < config_.promote_limit &&
-            m.free_pages(memsim::Tier::kFast) > 0 &&
-            m.migrate(page, memsim::Tier::kFast)) {
-            candidate_[page] = 0;
-            cold_count_[page] = 0;
-            ++promoted_this_tick_;
+            m.free_pages(memsim::Tier::kFast) > 0) {
+            const auto result = m.migrate(page, memsim::Tier::kFast);
+            if (result.ok() || result.pending()) {
+                candidate_[page] = 0;
+                cold_count_[page] = 0;
+                ++promoted_this_tick_;
+            }
         }
     }
     m.charge_overhead(examined * config_.scan_cost_ns);
@@ -77,7 +79,8 @@ MultiClock::sweep_fast_hand(std::size_t budget)
         // page stayed cold for several rounds.
         if (m.free_pages(memsim::Tier::kFast) < watermark &&
             cold_count_[page] >= config_.cold_rounds) {
-            if (m.migrate(page, memsim::Tier::kSlow))
+            const auto result = m.migrate(page, memsim::Tier::kSlow);
+            if (result.ok() || result.pending())
                 cold_count_[page] = 0;
         }
     }

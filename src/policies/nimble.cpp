@@ -65,14 +65,16 @@ Nimble::on_interval(SimTimeNs now)
     for (PageId page : demote_) {
         if (need == 0)
             break;
-        if (m.migrate(page, memsim::Tier::kSlow)) {
+        const auto result = m.migrate(page, memsim::Tier::kSlow);
+        if (result.ok() || result.pending()) {
             --need;
             ++demoted;
         }
     }
     std::size_t promoted = 0;
     for (PageId page : promote_) {
-        if (m.migrate(page, memsim::Tier::kFast))
+        const auto result = m.migrate(page, memsim::Tier::kFast);
+        if (result.ok() || result.pending())
             ++promoted;
     }
     if (auto* t = trace(telemetry::Category::kMigration)) {

@@ -68,6 +68,23 @@ class Policy
     virtual void on_interval(SimTimeNs now) { (void)now; }
 
     /**
+     * A transactional migration this policy opened (migrate() returned
+     * kTxOpened) has resolved: @p committed says whether the page now
+     * resides in @p dst or a concurrent write aborted the copy and it
+     * stayed in @p src. Delivered from TieredMachine::poll_tx() at
+     * decision boundaries; only called in transactional mode. Policies
+     * that keep per-page structures (LRU lists) re-home the page here.
+     */
+    virtual void on_tx_resolved(PageId page, memsim::Tier src,
+                                memsim::Tier dst, bool committed)
+    {
+        (void)page;
+        (void)src;
+        (void)dst;
+        (void)committed;
+    }
+
+    /**
      * Attach (or with nullptr detach) the run's telemetry bundle; the
      * engine calls this before init(). Overrides that forward it to
      * owned components must call the base implementation first.

@@ -76,8 +76,12 @@ Tiering08::demote_to_watermark()
             m.tier_of(page) != memsim::Tier::kFast) {
             continue;
         }
-        if (!m.test_and_clear_accessed(page))
-            m.migrate(page, memsim::Tier::kSlow);
+        if (!m.test_and_clear_accessed(page)) {
+            // The sweep presses on whatever the outcome — failures are
+            // visible in the machine's failure counters — so the typed
+            // result is deliberately discarded.
+            (void)m.migrate(page, memsim::Tier::kSlow);
+        }
     }
     m.charge_overhead(scanned * config_.scan_cost_ns);
 }
@@ -116,9 +120,9 @@ Tiering08::on_interval(SimTimeNs now)
         if (m.free_pages(memsim::Tier::kFast) == 0)
             demote_to_watermark();
         const auto result = m.migrate(page, memsim::Tier::kFast);
-        if (result.ok())
+        if (result.ok() || result.pending())
             ++promoted;
-        else if (!result.faulted())
+        else if (!result.faulted() && !result.busy())
             break;  // saturated: an injected fault would only skip one page
     }
     for (PageId page : promote_queue_)

@@ -41,12 +41,30 @@ Tpp::on_hint_fault(PageId page, memsim::Tier tier)
     auto& m = machine();
     if (m.free_pages(memsim::Tier::kFast) == 0)
         demote_to_watermark();
-    if (m.migrate(page, memsim::Tier::kFast)) {
+    const auto result = m.migrate(page, memsim::Tier::kFast);
+    if (result.ok()) {
         // Promoted pages land on the fast active list (they just faulted).
         lists_->remove(page);
         lists_->insert_head(page, lru::ListId::kFastActive);
         ++promoted_this_tick_;
+    } else if (result.pending()) {
+        // Transactional open: the page keeps its slow-list slot until
+        // the commit re-homes it in on_tx_resolved().
+        ++promoted_this_tick_;
     }
+}
+
+void
+Tpp::on_tx_resolved(PageId page, memsim::Tier src, memsim::Tier dst,
+                    bool committed)
+{
+    (void)src;
+    if (!committed)
+        return;  // aborted: the page never left its tier or its list
+    lists_->remove(page);
+    lists_->insert_head(page, dst == memsim::Tier::kFast
+                                  ? lru::ListId::kFastActive
+                                  : lru::ListId::kSlowInactive);
 }
 
 void
@@ -94,7 +112,8 @@ Tpp::demote_to_watermark()
         }
         for (PageId page : scratch_) {
             lists_->remove(page);
-            if (m.migrate(page, memsim::Tier::kSlow))
+            const auto result = m.migrate(page, memsim::Tier::kSlow);
+            if (result.ok() || result.pending())
                 streak_[page] = 0;  // fresh PTE: fault stats reset
             if (m.free_pages(memsim::Tier::kFast) >= target)
                 break;

@@ -54,6 +54,8 @@ class Tpp final : public Policy
     void init(memsim::TieredMachine& machine) override;
     void on_hint_fault(PageId page, memsim::Tier tier) override;
     void on_tick(SimTimeNs now) override;
+    void on_tx_resolved(PageId page, memsim::Tier src, memsim::Tier dst,
+                        bool committed) override;
 
   private:
     void feed_lru(std::size_t scan_count);

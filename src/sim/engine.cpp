@@ -26,6 +26,7 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
     }
     machine.install_faults(config.faults);
     memsim::FaultInjector* faults = machine.fault_injector();
+    machine.install_tx(config.tx);
 
     // Per-run telemetry bundle; every cached pointer below stays null
     // when the corresponding collector is off, so instrumentation
@@ -59,6 +60,12 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
     }
 
     policy.init(machine);
+    if (machine.tx_enabled()) {
+        machine.set_tx_handler([&policy](PageId page, memsim::Tier src,
+                                         memsim::Tier dst, bool committed) {
+            policy.on_tx_resolved(page, src, dst, committed);
+        });
+    }
     memsim::PebsSampler sampler(config.pebs);
     std::uint64_t pebs_suppressed = 0;
 
@@ -115,6 +122,9 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
         if (sink != nullptr)
             sink->set_sim_time(machine.now());
         const SimTimeNs decision_start = machine.now();
+        // Commit due transactions (and deliver their resolutions) before
+        // the policy reasons about residency; a no-op when tx is off.
+        machine.poll_tx();
         {
             telemetry::PhaseTimer timer(profiler,
                                         telemetry::Phase::kDecision);
@@ -241,6 +251,19 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
         mirror("machine.overhead_ns", result.totals.overhead_ns);
         mirror("machine.aborted_migration_ns",
                result.totals.aborted_migration_ns);
+        if (machine.tx_enabled()) {
+            // Transaction counters exist only when the engine is on, so
+            // a tx-off metrics file stays byte-identical to the seed.
+            mirror("machine.tx_opened", result.totals.tx_opened);
+            mirror("machine.tx_committed", result.totals.tx_committed);
+            mirror("machine.tx_aborted", result.totals.tx_aborted);
+            mirror("machine.tx_retries", result.totals.tx_retries);
+            mirror("machine.tx_free_flips", result.totals.tx_free_flips);
+            mirror("machine.tx_dual_drops", result.totals.tx_dual_drops);
+            mirror("machine.tx_dual_reclaims",
+                   result.totals.tx_dual_reclaims);
+            mirror("machine.failed_tx_busy", result.totals.failed_tx_busy);
+        }
         mirror("pebs.recorded", result.pebs_recorded);
         mirror("pebs.dropped", result.pebs_dropped);
         mirror("pebs.suppressed", result.pebs_suppressed);

@@ -54,6 +54,16 @@ struct EngineConfig {
      */
     memsim::FaultConfig faults;
     /**
+     * Transactional-migration engine (memsim/tx_migration.hpp). Off by
+     * default, which is a strict no-op: the machine never allocates the
+     * transaction table and every run is bit-identical to one without
+     * the engine compiled in. When enabled, the engine polls the
+     * machine at every decision boundary so due transactions commit
+     * before the policy reasons about residency, and routes each
+     * resolution to Policy::on_tx_resolved().
+     */
+    memsim::TxConfig tx;
+    /**
      * Audit simulator invariants (residency, LRU partition, EMA mass,
      * fault accounting, Q-table bounds; see verify/invariant_checker.hpp)
      * after every decision interval. Requires a build with

@@ -37,6 +37,40 @@ make_machine_config(Bytes footprint, const RatioSpec& ratio, Bytes page_size)
     return make_machine_config(footprint, fast_bytes, page_size);
 }
 
+memsim::TxConfig
+parse_tx_cli(const CliArgs& args)
+{
+    memsim::TxConfig tx;
+    tx.enabled = args.get_bool("tx-migration", false);
+    static constexpr std::string_view kKnown[] = {
+        "tx-migration", "tx-seed", "tx-write-ratio", "tx-max-inflight",
+        "tx-exclusive"};
+    for (const auto& name : args.flag_names()) {
+        if (name.rfind("tx-", 0) != 0)
+            continue;
+        bool known = false;
+        for (const auto k : kKnown)
+            known = known || name == k;
+        if (!known) {
+            fatal("unknown transactional-migration flag --", name,
+                  " (known: --tx-migration --tx-seed --tx-write-ratio "
+                  "--tx-max-inflight --tx-exclusive)");
+        }
+        if (!tx.enabled && name != "tx-migration")
+            fatal("--", name, " requires --tx-migration");
+    }
+    if (!tx.enabled)
+        return tx;
+    tx.seed = static_cast<std::uint64_t>(
+        args.get_int("tx-seed", static_cast<long long>(tx.seed)));
+    tx.write_ratio = args.get_double("tx-write-ratio", tx.write_ratio);
+    tx.max_inflight = static_cast<std::size_t>(args.get_int(
+        "tx-max-inflight", static_cast<long long>(tx.max_inflight)));
+    tx.non_exclusive = !args.get_bool("tx-exclusive", false);
+    tx.validate();
+    return tx;
+}
+
 RunResult
 run_experiment(const RunSpec& spec)
 {

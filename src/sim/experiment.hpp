@@ -14,6 +14,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/registry.hpp"
+#include "util/cli.hpp"
 #include "workloads/factory.hpp"
 
 namespace artmem::sim {
@@ -62,6 +63,15 @@ struct RunSpec {
     std::uint64_t seed = 42;
     EngineConfig engine;            ///< Cadence / instrumentation.
 };
+
+/**
+ * Parse the transactional-migration flags shared by the CLI and the
+ * bench harnesses: --tx-migration plus the --tx-seed, --tx-write-ratio,
+ * --tx-max-inflight and --tx-exclusive knobs. Validation is strict:
+ * CliArgs keeps unknown flags, so any other "--tx-"-prefixed flag is a
+ * typo and fatal()s, as does a tx knob given without --tx-migration.
+ */
+memsim::TxConfig parse_tx_cli(const CliArgs& args);
 
 /** Run one fully specified experiment (constructs everything). */
 RunResult run_experiment(const RunSpec& spec);

@@ -29,6 +29,8 @@ invariant_name(Invariant invariant)
         return "fault_accounting";
     case Invariant::kQTableValue:
         return "qtable_value";
+    case Invariant::kTxAccounting:
+        return "tx_accounting";
     }
     return "unknown";
 }
@@ -75,8 +77,16 @@ InvariantChecker::check_machine(const memsim::TieredMachine& machine)
     const std::size_t pages = machine.page_count();
     std::size_t counted[memsim::kTierCount] = {0, 0};
     for (PageId page = 0; page < pages; ++page) {
-        if (machine.is_allocated(page))
-            ++counted[static_cast<std::size_t>(machine.tier_of(page))];
+        if (!machine.is_allocated(page))
+            continue;
+        const Tier primary = machine.tier_of(page);
+        ++counted[static_cast<std::size_t>(primary)];
+        // Transactional residency charges a second slot: an in-flight
+        // migrate holds a shadow copy at its destination (exchanges
+        // bounce-copy and charge nothing), and a committed
+        // non-exclusive page keeps its old copy until reclaim.
+        if (machine.tx_page_shadow(page) || machine.tx_page_dual(page))
+            ++counted[static_cast<std::size_t>(memsim::other_tier(primary))];
     }
     for (int t = 0; t < memsim::kTierCount; ++t) {
         const Tier tier = static_cast<Tier>(t);
@@ -229,7 +239,7 @@ InvariantChecker::check_fault_accounting(
     if (!machine.faults_enabled()) {
         if (totals.failed_pinned != 0 || totals.failed_transient != 0 ||
             totals.failed_contended != 0 ||
-            totals.aborted_migration_ns != 0) {
+            (totals.aborted_migration_ns != 0 && totals.tx_aborted == 0)) {
             std::ostringstream os;
             os << "fault-free machine recorded injected failures (pinned="
                << totals.failed_pinned << " transient="
@@ -261,10 +271,12 @@ InvariantChecker::check_fault_accounting(
            << " pinned failures but no pages are pinned";
         violate(Invariant::kFaultAccounting, os.str());
     }
-    if (totals.aborted_migration_ns > 0 && totals.failed_transient == 0) {
+    if (totals.aborted_migration_ns > 0 && totals.failed_transient == 0 &&
+        totals.tx_aborted == 0) {
         std::ostringstream os;
         os << "machine charged " << totals.aborted_migration_ns
-           << " ns of aborted copies without a transient abort";
+           << " ns of aborted copies without a transient or "
+           << "transactional abort";
         violate(Invariant::kFaultAccounting, os.str());
     }
     if (expected_suppressed &&
@@ -274,6 +286,72 @@ InvariantChecker::check_fault_accounting(
            << " suppressed samples but the injector suppressed "
            << faults.suppressed_samples();
         violate(Invariant::kFaultAccounting, os.str());
+    }
+}
+
+void
+InvariantChecker::check_tx_accounting(const memsim::TieredMachine& machine)
+{
+    const auto& totals = machine.totals();
+    if (!machine.tx_enabled()) {
+        if (totals.tx_opened != 0 || totals.tx_committed != 0 ||
+            totals.tx_aborted != 0 || totals.tx_retries != 0 ||
+            totals.tx_free_flips != 0 || totals.tx_dual_drops != 0 ||
+            totals.tx_dual_reclaims != 0 || totals.failed_tx_busy != 0) {
+            std::ostringstream os;
+            os << "tx-off machine recorded transaction activity (opened="
+               << totals.tx_opened << " committed=" << totals.tx_committed
+               << " aborted=" << totals.tx_aborted << " busy="
+               << totals.failed_tx_busy << ")";
+            violate(Invariant::kTxAccounting, os.str());
+        }
+        return;
+    }
+    // Every open resolves exactly once: commit, abort, or still pending.
+    const std::uint64_t inflight = machine.tx_inflight_count();
+    if (totals.tx_opened !=
+        totals.tx_committed + totals.tx_aborted + inflight) {
+        std::ostringstream os;
+        os << "transaction ledger does not balance: opened="
+           << totals.tx_opened << " != committed=" << totals.tx_committed
+           << " + aborted=" << totals.tx_aborted << " + in-flight="
+           << inflight;
+        violate(Invariant::kTxAccounting, os.str());
+    }
+    // Every write draw that hit resolved exactly one way: it aborted an
+    // in-flight transaction or dropped a dual-resident secondary copy.
+    if (machine.tx_write_hits() !=
+        totals.tx_aborted + totals.tx_dual_drops) {
+        std::ostringstream os;
+        os << "write-classification draws do not reconcile: "
+           << machine.tx_write_hits() << " hits (of "
+           << machine.tx_write_draws() << " draws) but aborted="
+           << totals.tx_aborted << " + dual_drops="
+           << totals.tx_dual_drops;
+        violate(Invariant::kTxAccounting, os.str());
+    }
+    // The per-tier reclaimable counters must match a census of the
+    // dual-residency flags (a stale counter would let free_pages() lie
+    // to every policy).
+    std::size_t dual[memsim::kTierCount] = {0, 0};
+    const std::size_t pages = machine.page_count();
+    for (PageId page = 0; page < pages; ++page) {
+        if (machine.is_allocated(page) && machine.tx_page_dual(page))
+            ++dual[static_cast<std::size_t>(
+                memsim::other_tier(machine.tier_of(page)))];
+    }
+    for (int t = 0; t < memsim::kTierCount; ++t) {
+        const Tier tier = static_cast<Tier>(t);
+        if (machine.tx_reclaimable_pages(tier) !=
+            dual[static_cast<std::size_t>(t)]) {
+            std::ostringstream os;
+            os << "tier " << memsim::tier_name(tier) << " tracks "
+               << machine.tx_reclaimable_pages(tier)
+               << " reclaimable secondary copies but "
+               << dual[static_cast<std::size_t>(t)]
+               << " pages carry the dual-residency flag there";
+            violate(Invariant::kTxAccounting, os.str());
+        }
     }
 }
 
@@ -326,6 +404,7 @@ InvariantChecker::audit(const memsim::TieredMachine& machine,
     ++audits_;
     check_machine(machine);
     check_fault_accounting(machine, expected_suppressed);
+    check_tx_accounting(machine);
     if (const auto* artmem =
             dynamic_cast<const core::ArtMem*>(&policy)) {
         if (artmem->initialized())

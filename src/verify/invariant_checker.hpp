@@ -65,6 +65,7 @@ enum class Invariant : std::uint8_t {
     kEmaBinMass,          ///< Bin populations disagree with the counters.
     kFaultAccounting,     ///< Failure counters vs. injector bookkeeping.
     kQTableValue,         ///< Non-finite or out-of-bound action value.
+    kTxAccounting,        ///< Transaction counters vs. draw bookkeeping.
 };
 
 /** Printable invariant name ("residency_count", ...). */
@@ -98,6 +99,10 @@ class InvariantChecker
     /**
      * Residency map vs. per-tier counts and capacities: recounts the
      * allocation flags of every page and compares with used_pages().
+     * With the transactional engine on, the recount also charges each
+     * in-flight shadow copy to its destination tier and each
+     * dual-resident secondary copy to its non-primary tier, matching
+     * the machine's capacity bookkeeping.
      */
     static void check_machine(const memsim::TieredMachine& machine);
 
@@ -130,6 +135,17 @@ class InvariantChecker
     static void check_fault_accounting(
         const memsim::TieredMachine& machine,
         std::optional<std::uint64_t> expected_suppressed = std::nullopt);
+
+    /**
+     * Transactional-migration accounting. With the engine off, every
+     * transaction counter must be zero (the mode is a strict no-op).
+     * With it on: opens must equal commits + aborts + the in-flight
+     * table's population; write-classification hits must equal aborts
+     * plus dual-copy drops (each hit resolves exactly one way); and the
+     * per-tier reclaimable count must equal a census of dual-resident
+     * pages charged to that tier.
+     */
+    static void check_tx_accounting(const memsim::TieredMachine& machine);
 
     /**
      * Q-table sanity: every entry finite and |Q| <= @p bound.

@@ -15,9 +15,9 @@ namespace artmem::workloads {
 std::vector<std::string_view>
 workload_names()
 {
-    return {"ycsb",  "cc",    "sssp",      "pr", "xsbench", "dlrm",
-            "btree", "liblinear", "s1",    "s2", "s3",      "s4",
-            "uniform", "sequential"};
+    return {"ycsb",  "ycsb_w", "cc",       "sssp", "pr", "xsbench",
+            "dlrm",  "btree",  "liblinear", "s1",  "s2", "s3",
+            "s4",    "uniform", "sequential"};
 }
 
 std::vector<std::string_view>
@@ -34,6 +34,17 @@ make_workload(std::string_view name, Bytes page_size,
     if (name == "ycsb") {
         Ycsb::Params p;
         p.total_accesses = total_accesses;
+        return std::make_unique<Ycsb>(p, page_size, seed);
+    }
+    if (name == "ycsb_w") {
+        // Write-heavy YCSB mix (workload-A-like): hotter skew and more
+        // live insertion churn. Paired with --tx-write-ratio to model
+        // the update fraction hitting in-flight migrations.
+        Ycsb::Params p;
+        p.total_accesses = total_accesses;
+        p.zipf_theta = 0.999;
+        p.initial_fill = 0.8;
+        p.label = "ycsb_w";
         return std::make_unique<Ycsb>(p, page_size, seed);
     }
     if (name == "cc") {

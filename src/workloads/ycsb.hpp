@@ -16,6 +16,7 @@
 #define ARTMEM_WORKLOADS_YCSB_HPP
 
 #include <memory>
+#include <string>
 
 #include "util/rng.hpp"
 #include "util/zipf.hpp"
@@ -34,11 +35,13 @@ class Ycsb final : public AccessGenerator
         std::uint64_t total_accesses = 10000000;
         /** Fraction of the arena populated before workload D's inserts. */
         double initial_fill = 0.9;
+        /** Advertised workload name (factory variants override it). */
+        std::string label = "ycsb";
     };
 
     Ycsb(const Params& params, Bytes page_size, std::uint64_t seed);
 
-    std::string_view name() const override { return "ycsb"; }
+    std::string_view name() const override { return params_.label; }
     Bytes footprint() const override { return params_.footprint; }
     std::size_t fill(std::span<PageId> out) override;
     std::uint64_t total_accesses() const override

@@ -187,12 +187,12 @@ run_lockstep_scenario(std::string_view scenario, std::uint64_t seed)
     scalar.set_fault_handler([&](PageId page, Tier tier) {
         scalar_traps.push_back({page, tier, scalar.now()});
         if (tier == Tier::kSlow)
-            scalar.migrate(page, Tier::kFast);
+            (void)scalar.migrate(page, Tier::kFast);
     });
     batched.set_fault_handler([&](PageId page, Tier tier) {
         batched_traps.push_back({page, tier, batched.now()});
         if (tier == Tier::kSlow)
-            batched.migrate(page, Tier::kFast);
+            (void)batched.migrate(page, Tier::kFast);
     });
 
     // Small buffer so overflow drops are exercised too.

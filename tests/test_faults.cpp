@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <map>
+#include <tuple>
 
 #include "core/artmem.hpp"
 #include "memsim/fault_injector.hpp"
@@ -127,6 +128,16 @@ TEST(FaultNoOp, DisabledFaultsAreBitIdenticalToPreFaultBuild)
         EXPECT_EQ(r.totals.failed_transient, 0u) << policy_name;
         EXPECT_EQ(r.totals.failed_contended, 0u) << policy_name;
         EXPECT_EQ(r.pebs_suppressed, 0u) << policy_name;
+        // The transactional engine defaults to off and must leave no
+        // trace at all in a plain run (DESIGN.md section 10).
+        EXPECT_EQ(r.totals.tx_opened, 0u) << policy_name;
+        EXPECT_EQ(r.totals.tx_committed, 0u) << policy_name;
+        EXPECT_EQ(r.totals.tx_aborted, 0u) << policy_name;
+        EXPECT_EQ(r.totals.tx_retries, 0u) << policy_name;
+        EXPECT_EQ(r.totals.tx_free_flips, 0u) << policy_name;
+        EXPECT_EQ(r.totals.tx_dual_drops, 0u) << policy_name;
+        EXPECT_EQ(r.totals.tx_dual_reclaims, 0u) << policy_name;
+        EXPECT_EQ(r.totals.failed_tx_busy, 0u) << policy_name;
     }
 }
 
@@ -500,6 +511,75 @@ TEST(FaultScenarios, AllNamedScenariosValidate)
         fc.validate();
         EXPECT_EQ(fc.any_enabled(), name != "none") << name;
     }
+}
+
+TEST(FaultScenarios, AbortStormValidatesButStaysOutOfTheDefaultSweep)
+{
+    // abort_storm only has teeth under --tx-migration, so it must build
+    // and validate but stay out of fault_scenario_names(): the default
+    // bench sweeps (and their byte-identical goldens) never see it.
+    const auto fc = memsim::make_fault_scenario("abort_storm", 123);
+    fc.validate();
+    EXPECT_TRUE(fc.any_enabled());
+    EXPECT_GT(fc.write_storm_rate, 0.0);
+    EXPECT_GT(fc.write_storm_period_ns, 0u);
+    for (const auto name : memsim::fault_scenario_names())
+        EXPECT_NE(name, "abort_storm");
+}
+
+TEST(WriteStormFaults, StormRateIsAPureWindowFunction)
+{
+    const auto fc = memsim::make_fault_scenario("abort_storm", 5);
+    FaultInjector a(fc, 64);
+    FaultInjector b(fc, 64);
+    bool in_storm = false;
+    bool out_of_storm = false;
+    for (SimTimeNs t = 0; t < 4 * fc.write_storm_period_ns; t += 500000) {
+        const double rate = a.tx_write_storm_rate(t);
+        // Pure function of (seed, time): a replay agrees at every point.
+        EXPECT_EQ(rate, b.tx_write_storm_rate(t)) << t;
+        if (rate > 0.0) {
+            EXPECT_EQ(rate, fc.write_storm_rate) << t;
+            in_storm = true;
+        } else {
+            out_of_storm = true;
+        }
+    }
+    // Duty cycle 8/20 ms: a 500 us walk over four periods sees both.
+    EXPECT_TRUE(in_storm);
+    EXPECT_TRUE(out_of_storm);
+    // Reading the schedule consumes no draws (replay safety).
+    EXPECT_EQ(a.draws(), 0u);
+}
+
+TEST(WriteStormFaults, AbortStormReplayIsDeterministic)
+{
+    // Same fault seed, same tx seed, same call sequence: the storm's
+    // abort schedule replays bit-for-bit, and it actually aborts.
+    auto run = [] {
+        TieredMachine m(small_machine(4, 12));
+        m.install_faults(memsim::make_fault_scenario("abort_storm", 9));
+        memsim::TxConfig tx;
+        tx.enabled = true;
+        tx.seed = 3;
+        m.install_tx(tx);
+        m.prefault_range(0, 12);
+        for (int round = 0; round < 400; ++round) {
+            if (!m.tx_page_inflight(0)) {
+                (void)m.migrate(0,
+                                memsim::other_tier(m.tier_of(0)));
+            }
+            m.access(0);
+            m.advance(100000);
+            (void)m.poll_tx();
+        }
+        return std::tuple{m.totals().tx_opened, m.totals().tx_committed,
+                          m.totals().tx_aborted, m.totals().tx_retries,
+                          m.tx_write_draws(), m.tx_write_hits(), m.now()};
+    };
+    const auto a = run();
+    EXPECT_EQ(a, run());
+    EXPECT_GT(std::get<2>(a), 0u) << "the storm never aborted anything";
 }
 
 TEST(MigrateStatusNames, AllDistinct)

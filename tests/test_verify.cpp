@@ -34,6 +34,28 @@ struct MachineTestPeer {
         machine.flags_[page] ^= TieredMachine::kTierBit;
     }
 
+    /** Clear a page's dual-residency flag behind the reclaim ledger. */
+    static void drop_dual_flag(TieredMachine& machine, PageId page)
+    {
+        machine.flags_[page] &=
+            static_cast<std::uint8_t>(~TieredMachine::kDualBit);
+    }
+
+    /** Double-free a dual-resident page's secondary slot: release the
+     *  used count as if the copy had been reclaimed while the dual
+     *  flag (and the reclaim ledger) still claim the slot. */
+    static void double_free_dual_slot(TieredMachine& machine, PageId page)
+    {
+        const Tier secondary = other_tier(machine.tier_of(page));
+        --machine.used_[static_cast<int>(secondary)];
+    }
+
+    /** Bump the write-hit counter without a matching abort or drop. */
+    static void skew_write_hits(TieredMachine& machine)
+    {
+        ++machine.tx_->write_hits;
+    }
+
     /** Force a tier's used count above its capacity (flags in sync). */
     static void overfill(TieredMachine& machine, Tier tier)
     {
@@ -108,6 +130,7 @@ TEST(InvariantNames, AreStable)
     EXPECT_EQ(invariant_name(Invariant::kFaultAccounting),
               "fault_accounting");
     EXPECT_EQ(invariant_name(Invariant::kQTableValue), "qtable_value");
+    EXPECT_EQ(invariant_name(Invariant::kTxAccounting), "tx_accounting");
 }
 
 TEST(CheckMachine, HealthyMachinePasses)
@@ -346,6 +369,83 @@ TEST(Audit, DetectsArtMemQTableCorruption)
         std::numeric_limits<double>::infinity();
     InvariantChecker checker;
     EXPECT_THROW(checker.audit(machine, policy), InvariantViolation);
+}
+
+// --- transactional-engine accounting -----------------------------------
+
+/** Machine with one committed non-exclusive demotion: page 0's primary
+ *  lives in the slow tier with a clean dual copy left in fast. */
+class CheckTxAccounting : public ::testing::Test
+{
+  protected:
+    CheckTxAccounting() : machine_(small_machine_config())
+    {
+        memsim::TxConfig tx;
+        tx.enabled = true;
+        machine_.install_tx(tx);
+        machine_.prefault_range(0, 48);  // 16 fast + 32 slow
+        EXPECT_TRUE(machine_.migrate(0, Tier::kSlow).pending());
+        machine_.advance(1'000'000'000);
+        EXPECT_EQ(machine_.poll_tx(), 1u);
+        EXPECT_TRUE(machine_.tx_page_dual(0));
+    }
+
+    TieredMachine machine_;
+};
+
+TEST_F(CheckTxAccounting, HealthyDualResidentMachinePasses)
+{
+    EXPECT_NO_THROW(InvariantChecker::check_machine(machine_));
+    EXPECT_NO_THROW(InvariantChecker::check_tx_accounting(machine_));
+}
+
+TEST_F(CheckTxAccounting, DoubleFreedDualSlotFires)
+{
+    // The dual page's secondary slot is freed a second time: the flags
+    // still claim residency in both tiers, so the recount disagrees
+    // with the used counter.
+    MachineTestPeer::double_free_dual_slot(machine_, 0);
+    try {
+        InvariantChecker::check_machine(machine_);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& violation) {
+        EXPECT_EQ(violation.which(), Invariant::kResidencyCount);
+    }
+}
+
+TEST_F(CheckTxAccounting, DroppedDualFlagFires)
+{
+    // The flag disappears behind the reclaim ledger's back: the tier
+    // still advertises a reclaimable copy that no page carries.
+    MachineTestPeer::drop_dual_flag(machine_, 0);
+    try {
+        InvariantChecker::check_tx_accounting(machine_);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& violation) {
+        EXPECT_EQ(violation.which(), Invariant::kTxAccounting);
+        EXPECT_NE(std::string(violation.what()).find("reclaimable"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(CheckTxAccounting, SkewedWriteHitsFire)
+{
+    // A write hit that neither aborted a transaction nor dropped a
+    // dual copy breaks the draw-stream reconciliation.
+    MachineTestPeer::skew_write_hits(machine_);
+    try {
+        InvariantChecker::check_tx_accounting(machine_);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& violation) {
+        EXPECT_EQ(violation.which(), Invariant::kTxAccounting);
+    }
+}
+
+TEST(CheckTxAccountingOff, TxOffMachinePasses)
+{
+    TieredMachine machine(small_machine_config());
+    machine.prefault_range(0, 40);
+    EXPECT_NO_THROW(InvariantChecker::check_tx_accounting(machine));
 }
 
 // --- integration: full fault-scenario runs under per-interval audit ----

@@ -84,6 +84,9 @@ parse_spec(const CliArgs& args)
                 static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
         }
     }
+
+    // Transactional migration engine (off by default = strict no-op).
+    spec.engine.tx = sim::parse_tx_cli(args);
     return spec;
 }
 
@@ -186,6 +189,16 @@ print_result(const sim::RunResult& r, const sim::RunSpec& spec)
                   << " contended=" << r.totals.failed_contended
                   << " no_slot=" << r.totals.failed_no_slot
                   << ") pebs_suppressed=" << r.pebs_suppressed;
+    }
+    if (r.totals.tx_opened > 0) {
+        std::cout << "\ntx_opened=" << r.totals.tx_opened
+                  << " committed=" << r.totals.tx_committed
+                  << " aborted=" << r.totals.tx_aborted
+                  << " retries=" << r.totals.tx_retries
+                  << " busy=" << r.totals.failed_tx_busy
+                  << " free_flips=" << r.totals.tx_free_flips
+                  << " dual_drops=" << r.totals.tx_dual_drops
+                  << " dual_reclaims=" << r.totals.tx_dual_reclaims;
     }
     std::cout << "\n";
 }
@@ -347,6 +360,7 @@ cmd_trace_run(const CliArgs& args)
     memsim::TieredMachine machine(machine_config);
     auto policy = sim::make_policy(spec.policy, spec.seed);
     sim::EngineConfig engine;
+    engine.tx = spec.engine.tx;
     const auto r = sim::run_simulation(replay, *policy, machine, engine);
     spec.workload = "trace:" + path;
     print_result(r, spec);
@@ -369,7 +383,11 @@ main(int argc, char** argv)
                "       --jobs=N --derive-seeds (sweep: parallel workers / "
                "per-job seed streams)\n"
                "       --fault-scenario=<none|migration|degrade|blackout|"
-               "pressure> --fault-config=<file> --fault-seed=N\n"
+               "pressure|abort_storm> --fault-config=<file> --fault-seed=N\n"
+               "       --tx-migration (transactional copy-then-commit "
+               "migrations; DESIGN.md section 10)\n"
+               "       --tx-write-ratio=R --tx-max-inflight=N --tx-seed=N "
+               "--tx-exclusive (release the source slot at commit)\n"
                "       --check-invariants (audit simulator state every "
                "interval; see DESIGN.md section 6)\n"
                "       --metrics-out=FILE --trace-out=BASE (writes "
