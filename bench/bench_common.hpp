@@ -88,11 +88,14 @@ struct BenchOptions {
     }
 };
 
-/** Print a finished result sink in the selected format. */
+/** Print a finished result sink in the selected format; dies if the
+ *  stream goes bad (a truncated result file must not look like a
+ *  completed run to the golden diff). */
 inline void
 emit(sweep::ResultSink& sink, const BenchOptions& opt)
 {
-    sink.emit(std::cout, opt.format());
+    if (!sink.emit(std::cout, opt.format()))
+        fatal("result emission failed: output stream went bad");
 }
 
 /** Build the sweep runner configured by --jobs. */

@@ -45,7 +45,8 @@ main(int argc, char** argv)
                 .cell(iv.demoted)
                 .cell(iv.exchanges);
         }
-        t.emit(std::cout, sweep::Format::kTable);
+        if (!t.emit(std::cout, sweep::Format::kTable))
+            fatal("result emission failed: output stream went bad");
     }
     return 0;
 }

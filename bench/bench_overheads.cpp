@@ -293,7 +293,9 @@ main(int argc, char** argv)
     // the fig-harness --quick convention. Expanded into native
     // google-benchmark flags so the library still does all the timing.
     std::vector<char*> args;
+    // lint:allow(DL006) argv storage google-benchmark mutates in place
     static char filter[] = "--benchmark_filter=BM_SimThroughput";
+    // lint:allow(DL006) argv storage google-benchmark mutates in place
     static char min_time[] = "--benchmark_min_time=0.01";
     bool quick = false;
     bool custom_format = false;

@@ -60,7 +60,13 @@ cmake -B build-strict -S . -DARTMEM_STRICT=ON > /dev/null
 cmake --build build-strict -j "${jobs}"
 
 echo "==> [3/8] lint"
-scripts/check_lint.sh build
+# In CI (GitHub Actions sets CI=true) a missing clang-tidy is a
+# failure, not a silent skip; locally the detlint half alone passes.
+if [[ -n "${CI:-}" ]]; then
+    scripts/check_lint.sh --require-clang-tidy build
+else
+    scripts/check_lint.sh build
+fi
 
 echo "==> [4/8] invariant-checked fault sweep"
 for scenario in none migration degrade blackout pressure; do

@@ -10,6 +10,7 @@ AsyncSampler::AsyncSampler(std::size_t capacity, BatchHandler handler,
 {
     if (!handler_)
         fatal("AsyncSampler requires a batch handler");
+    MutexLock lock(join_mutex_);
     worker_ = std::thread([this] { run(); });
 }
 
@@ -21,9 +22,12 @@ AsyncSampler::~AsyncSampler()
 void
 AsyncSampler::stop()
 {
-    bool expected = false;
-    if (!stopping_.compare_exchange_strong(expected, true))
-        return;
+    stopping_.store(true, std::memory_order_release);
+    // Every stop() — not just the first — holds the join handshake
+    // until the worker has exited: a caller racing another stop() (or
+    // the destructor) must not return while the drainer can still
+    // touch the buffer. The old CAS fast path did exactly that.
+    MutexLock lock(join_mutex_);
     if (worker_.joinable())
         worker_.join();
 }

@@ -23,6 +23,8 @@
 
 #include "memsim/pebs.hpp"
 #include "memsim/ring_buffer.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace artmem::memsim {
 
@@ -55,8 +57,17 @@ class AsyncSampler
         return buffer_.push(PebsSample{page, tier});
     }
 
-    /** Stop accepting work and join (idempotent). */
-    void stop();
+    /**
+     * Stop accepting work, drain the backlog, and join. Idempotent and
+     * safe to race: every caller — including the destructor — blocks
+     * until the worker has actually exited, so no caller can observe
+     * (or destroy) the sampler while the drainer still runs. (The
+     * original compare-and-swap fast path let the losing caller return
+     * before the join finished — a lifetime race under concurrent
+     * stop()/destruction, caught by the TSan regression in
+     * tests/test_async.cpp.)
+     */
+    void stop() ARTMEM_EXCLUDES(join_mutex_);
 
     /** Samples delivered to the handler so far. */
     std::uint64_t delivered() const
@@ -75,7 +86,8 @@ class AsyncSampler
     std::chrono::microseconds poll_;
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> delivered_{0};
-    std::thread worker_;
+    Mutex join_mutex_;  ///< Serializes the stop()/join handshake.
+    std::thread worker_ ARTMEM_GUARDED_BY(join_mutex_);
 };
 
 }  // namespace artmem::memsim

@@ -6,6 +6,15 @@
  * ksampled thread drains (ArtMem Section 4.4). The same class backs both
  * the deterministic simulated path (producer and consumer on one thread)
  * and the real std::thread demonstration exercised by the tests.
+ *
+ * Thread contract (checked under the TSan preset, DESIGN.md §11): at
+ * most ONE producer thread calls push() and at most ONE consumer
+ * thread calls pop()/drain(). The indices are lock-free atomics, not
+ * capability-guarded state, so Clang's thread-safety analysis cannot
+ * enforce the pairing — the SPSC discipline is the caller's
+ * obligation (AsyncSampler is the in-tree reference pairing), and the
+ * acquire/release protocol on head_/tail_ is what makes the handoff
+ * of slots_ contents safe.
  */
 #ifndef ARTMEM_MEMSIM_RING_BUFFER_HPP
 #define ARTMEM_MEMSIM_RING_BUFFER_HPP
@@ -104,11 +113,12 @@ class RingBuffer
     std::size_t capacity() const { return mask_ + 1; }
 
   private:
-    std::vector<T> slots_;
-    std::size_t mask_ = 0;
-    std::atomic<std::size_t> head_{0};
-    std::atomic<std::size_t> tail_{0};
-    std::atomic<std::uint64_t> dropped_{0};
+    std::vector<T> slots_;   ///< Written by producer, read by consumer;
+                             ///< handed off via head_'s release store.
+    std::size_t mask_ = 0;   ///< Immutable after construction.
+    std::atomic<std::size_t> head_{0};  ///< Advanced by the producer only.
+    std::atomic<std::size_t> tail_{0};  ///< Advanced by the consumer only.
+    std::atomic<std::uint64_t> dropped_{0};  ///< Producer-side overflow count.
 };
 
 }  // namespace artmem::memsim

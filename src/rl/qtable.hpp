@@ -63,8 +63,8 @@ class QTable
      * The recoverable path for caller-supplied blobs (ArtMem pretrained
      * Q-tables fall back to a cold start).
      */
-    static std::optional<QTable> try_load(std::istream& is,
-                                          std::string* error = nullptr);
+    [[nodiscard]] static std::optional<QTable>
+    try_load(std::istream& is, std::string* error = nullptr);
 
   private:
     int index(int state, int action) const;

@@ -169,7 +169,8 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
         if (check_invariants) {
             telemetry::PhaseTimer audit_timer(profiler,
                                               telemetry::Phase::kAudit);
-            checker.audit(machine, policy, pebs_suppressed);
+            if (checker.audit(machine, policy, pebs_suppressed) == 0)
+                warn("run_simulation: invariant audit examined no state");
             result.invariant_audits = checker.audits();
         }
 #else

@@ -61,7 +61,7 @@ emit_json_string(std::ostream& os, const std::string& text)
 
 }  // namespace
 
-void
+bool
 ResultSink::emit(std::ostream& os, Format format)
 {
     switch (format) {
@@ -75,6 +75,11 @@ ResultSink::emit(std::ostream& os, Format format)
         emit_json(os);
         break;
     }
+    // Push the buffered rows to the OS before reporting success: a
+    // full disk or closed pipe only surfaces at flush time, and a
+    // sink that never flushed would report good() on lost output.
+    os.flush();
+    return os.good();
 }
 
 void

@@ -4,6 +4,12 @@
  * prints as an aligned table, CSV, or JSON. Replaces the per-bench
  * ad-hoc Table/CSV plumbing so every harness shares one output
  * contract (and golden diffs compare a single format).
+ *
+ * Thread contract: a ResultSink is confined to the harness thread.
+ * Sweep workers never touch it — they return RunResults, and the
+ * harness folds them into rows strictly in job-index order after
+ * SweepRunner::wait(), which is what keeps --jobs N output
+ * byte-identical to --jobs 1 (DESIGN.md §11).
  */
 #ifndef ARTMEM_SWEEP_RESULT_SINK_HPP
 #define ARTMEM_SWEEP_RESULT_SINK_HPP
@@ -72,8 +78,14 @@ class ResultSink
     /** Number of data rows. */
     std::size_t row_count() const { return table_.row_count(); }
 
-    /** Print in @p format (table/CSV via Table; JSON row objects). */
-    void emit(std::ostream& os, Format format);
+    /**
+     * Print in @p format (table/CSV via Table; JSON row objects).
+     * @returns the stream's health after writing AND flushing
+     * (os.good()): a closed pipe or full disk only surfaces once the
+     * buffer reaches the OS, and neither must pass silently as a
+     * result file, so emit flushes and callers consume the status.
+     */
+    [[nodiscard]] bool emit(std::ostream& os, Format format);
 
   private:
     void emit_json(std::ostream& os);

@@ -4,12 +4,60 @@
 
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 
 #include "util/rng.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace artmem::sweep {
+
+namespace {
+
+/**
+ * Worker-shared "k/N jobs done" + ETA reporter. Writes to stderr only
+ * (and only when stderr is a terminal), so it can never feed the result
+ * vector and cannot break bit-identity. The ETA wall clock is likewise
+ * reporting-only; everything cross-thread sits behind mutex_ so the
+ * Clang capability analysis can vouch for the progress path.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(bool enabled, std::size_t total)
+        : enabled_(enabled), total_(total),
+          start_(Clock::now())
+    {
+    }
+
+    void
+    job_done() ARTMEM_EXCLUDES(mutex_)
+    {
+        if (!enabled_)
+            return;
+        MutexLock lock(mutex_);
+        ++done_;
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - start_).count();
+        const double eta = elapsed / static_cast<double>(done_) *
+                           static_cast<double>(total_ - done_);
+        std::fprintf(stderr, "\rsweep: %zu/%zu jobs done, eta %.1fs%s",
+                     done_, total_, eta, done_ == total_ ? "\n" : "");
+        std::fflush(stderr);
+    }
+
+  private:
+    // lint:allow(DL001) ETA on stderr only; never feeds results
+    using Clock = std::chrono::steady_clock;
+
+    const bool enabled_;
+    const std::size_t total_;
+    const Clock::time_point start_;
+    Mutex mutex_;
+    std::size_t done_ ARTMEM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
 
 SweepSpec
 SweepSpec::grid(const std::vector<std::string>& workloads,
@@ -70,29 +118,8 @@ SweepRunner::run_indexed(std::size_t n,
     if (n == 0)
         return;
 
-    // Progress (and its ETA wall-clock) goes to stderr only and never
-    // feeds the result vector, so it cannot break bit-identity.
-    const bool progress =
-        options_.progress && n > 1 && isatty(fileno(stderr)) != 0;
-    using Clock = std::chrono::steady_clock;  // lint:allow(chrono) ETA on stderr only
-    const auto start = Clock::now();
-    std::mutex progress_mutex;
-    std::size_t done = 0;
-
-    auto report = [&] {
-        if (!progress)
-            return;
-        std::unique_lock<std::mutex> lock(progress_mutex);
-        ++done;
-        const double elapsed =
-            std::chrono::duration<double>(Clock::now() - start).count();
-        const double eta =
-            elapsed / static_cast<double>(done) *
-            static_cast<double>(n - done);
-        std::fprintf(stderr, "\rsweep: %zu/%zu jobs done, eta %.1fs%s",
-                     done, n, eta, done == n ? "\n" : "");
-        std::fflush(stderr);
-    };
+    ProgressMeter progress(
+        options_.progress && n > 1 && isatty(fileno(stderr)) != 0, n);
 
     unsigned workers = options_.jobs;
     if (workers == 0)
@@ -104,7 +131,7 @@ SweepRunner::run_indexed(std::size_t n,
         // Serial fast path: no pool, exceptions propagate directly.
         for (std::size_t i = 0; i < n; ++i) {
             fn(i);
-            report();
+            progress.job_done();
         }
         return;
     }
@@ -113,7 +140,7 @@ SweepRunner::run_indexed(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) {
         pool.submit([&, i] {
             fn(i);
-            report();
+            progress.job_done();
         });
     }
     pool.wait();

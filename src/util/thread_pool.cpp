@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(unsigned workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     work_cv_.notify_all();
@@ -29,7 +29,7 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         queue_.push_back(std::move(task));
     }
     work_cv_.notify_one();
@@ -38,14 +38,17 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock,
-                  [this] { return queue_.empty() && in_flight_ == 0; });
-    if (first_error_) {
-        auto error = std::exchange(first_error_, nullptr);
-        lock.unlock();
-        std::rethrow_exception(error);
+    std::exception_ptr error;
+    {
+        MutexLock lock(mutex_);
+        idle_cv_.wait(mutex_, [this] {
+            mutex_.assert_held();
+            return queue_.empty() && in_flight_ == 0;
+        });
+        error = std::exchange(first_error_, nullptr);
     }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void
@@ -54,8 +57,9 @@ ThreadPool::worker_loop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock, [this] {
+            MutexLock lock(mutex_);
+            work_cv_.wait(mutex_, [this] {
+                mutex_.assert_held();
                 return stopping_ || !queue_.empty();
             });
             if (queue_.empty())
@@ -67,12 +71,12 @@ ThreadPool::worker_loop()
         try {
             task();
         } catch (...) {
-            std::unique_lock<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (!first_error_)
                 first_error_ = std::current_exception();
         }
         {
-            std::unique_lock<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             --in_flight_;
             if (queue_.empty() && in_flight_ == 0)
                 idle_cv_.notify_all();

@@ -8,18 +8,24 @@
  * on it stays clean under scripts/check_lint.sh — determinism has to
  * come from the tasks themselves (each sweep job owns all of its
  * mutable state and writes only its own result slot).
+ *
+ * Lock discipline is machine-checked: every cross-thread field is
+ * ARTMEM_GUARDED_BY(mutex_) and a Clang ARTMEM_STRICT build
+ * (-Wthread-safety -Werror) rejects any access outside the lock
+ * (DESIGN.md §11).
  */
 #ifndef ARTMEM_UTIL_THREAD_POOL_HPP
 #define ARTMEM_UTIL_THREAD_POOL_HPP
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace artmem {
 
@@ -51,26 +57,26 @@ class ThreadPool
      * kill its worker: the first exception is captured and rethrown by
      * the next wait(); later tasks still run.
      */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) ARTMEM_EXCLUDES(mutex_);
 
     /**
      * Block until the queue is empty and no task is in flight, then
      * rethrow the first exception any task raised since the previous
      * wait() (clearing it, so the pool stays usable).
      */
-    void wait();
+    void wait() ARTMEM_EXCLUDES(mutex_);
 
   private:
-    void worker_loop();
+    void worker_loop() ARTMEM_EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable work_cv_;  ///< Signals workers: task/stop.
-    std::condition_variable idle_cv_;  ///< Signals wait(): all drained.
-    std::size_t in_flight_ = 0;
-    bool stopping_ = false;
-    std::exception_ptr first_error_;
+    Mutex mutex_;
+    CondVar work_cv_;  ///< Signals workers: task/stop.
+    CondVar idle_cv_;  ///< Signals wait(): all drained.
+    std::deque<std::function<void()>> queue_ ARTMEM_GUARDED_BY(mutex_);
+    std::size_t in_flight_ ARTMEM_GUARDED_BY(mutex_) = 0;
+    bool stopping_ ARTMEM_GUARDED_BY(mutex_) = false;
+    std::exception_ptr first_error_ ARTMEM_GUARDED_BY(mutex_);
 };
 
 }  // namespace artmem

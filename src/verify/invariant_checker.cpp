@@ -71,7 +71,7 @@ list_name(ListId list)
 
 }  // namespace
 
-void
+std::uint64_t
 InvariantChecker::check_machine(const memsim::TieredMachine& machine)
 {
     const std::size_t pages = machine.page_count();
@@ -107,9 +107,10 @@ InvariantChecker::check_machine(const memsim::TieredMachine& machine)
             violate(Invariant::kTierCapacity, os.str());
         }
     }
+    return static_cast<std::uint64_t>(pages) + memsim::kTierCount;
 }
 
-void
+std::uint64_t
 InvariantChecker::check_lru(const lru::LruLists& lists,
                             const memsim::TieredMachine& machine)
 {
@@ -123,6 +124,7 @@ InvariantChecker::check_lru(const lru::LruLists& lists,
 
     constexpr ListId kLists[] = {ListId::kFastActive, ListId::kFastInactive,
                                  ListId::kSlowActive, ListId::kSlowInactive};
+    std::uint64_t examined = pages;  // every label is inspected below
     std::size_t census[4] = {0, 0, 0, 0};
     for (PageId page = 0; page < pages; ++page) {
         const ListId at = lists.where(page);
@@ -184,6 +186,7 @@ InvariantChecker::check_lru(const lru::LruLists& lists,
             prev = page;
             page = lists.next(page);
             ++walked;
+            ++examined;
         }
         if (walked != size) {
             std::ostringstream os;
@@ -198,9 +201,10 @@ InvariantChecker::check_lru(const lru::LruLists& lists,
             violate(Invariant::kLruStructure, os.str());
         }
     }
+    return examined;
 }
 
-void
+std::uint64_t
 InvariantChecker::check_ema(const stats::EmaBins& bins)
 {
     const std::size_t pages = bins.page_count();
@@ -228,9 +232,10 @@ InvariantChecker::check_ema(const stats::EmaBins& bins)
            << pages;
         violate(Invariant::kEmaBinMass, os.str());
     }
+    return static_cast<std::uint64_t>(pages) + stats::EmaBins::kBins;
 }
 
-void
+std::uint64_t
 InvariantChecker::check_fault_accounting(
     const memsim::TieredMachine& machine,
     std::optional<std::uint64_t> expected_suppressed)
@@ -248,7 +253,7 @@ InvariantChecker::check_fault_accounting(
                << totals.aborted_migration_ns << ")";
             violate(Invariant::kFaultAccounting, os.str());
         }
-        return;
+        return 4;  // the four fault counters verified zero
     }
     const memsim::FaultInjector& faults = *machine.fault_injector();
     if (totals.failed_transient != faults.transient_aborts()) {
@@ -287,9 +292,10 @@ InvariantChecker::check_fault_accounting(
            << faults.suppressed_samples();
         violate(Invariant::kFaultAccounting, os.str());
     }
+    return expected_suppressed ? 5 : 4;  // reconciliations performed
 }
 
-void
+std::uint64_t
 InvariantChecker::check_tx_accounting(const memsim::TieredMachine& machine)
 {
     const auto& totals = machine.totals();
@@ -305,7 +311,7 @@ InvariantChecker::check_tx_accounting(const memsim::TieredMachine& machine)
                << totals.failed_tx_busy << ")";
             violate(Invariant::kTxAccounting, os.str());
         }
-        return;
+        return 8;  // the eight transaction counters verified zero
     }
     // Every open resolves exactly once: commit, abort, or still pending.
     const std::uint64_t inflight = machine.tx_inflight_count();
@@ -353,9 +359,10 @@ InvariantChecker::check_tx_accounting(const memsim::TieredMachine& machine)
             violate(Invariant::kTxAccounting, os.str());
         }
     }
+    return static_cast<std::uint64_t>(pages) + memsim::kTierCount + 2;
 }
 
-void
+std::uint64_t
 InvariantChecker::check_qtable(const rl::QTable& table, double bound,
                                std::string_view label)
 {
@@ -370,6 +377,8 @@ InvariantChecker::check_qtable(const rl::QTable& table, double bound,
             }
         }
     }
+    return static_cast<std::uint64_t>(table.states()) *
+           static_cast<std::uint64_t>(table.actions());
 }
 
 double
@@ -385,31 +394,37 @@ InvariantChecker::qtable_bound(const core::ArtMemConfig& config)
     return 100.0 / (1.0 - gamma) + 1e-6;
 }
 
-void
+std::uint64_t
 InvariantChecker::check_artmem(const core::ArtMem& artmem,
                                const memsim::TieredMachine& machine)
 {
-    check_lru(artmem.lists(), machine);
-    check_ema(artmem.bins());
+    std::uint64_t examined = 0;
+    examined += check_lru(artmem.lists(), machine);
+    examined += check_ema(artmem.bins());
     const double bound = qtable_bound(artmem.config());
-    check_qtable(artmem.migration_agent().table(), bound, "migration");
-    check_qtable(artmem.threshold_agent().table(), bound, "threshold");
+    examined +=
+        check_qtable(artmem.migration_agent().table(), bound, "migration");
+    examined +=
+        check_qtable(artmem.threshold_agent().table(), bound, "threshold");
+    return examined;
 }
 
-void
+std::uint64_t
 InvariantChecker::audit(const memsim::TieredMachine& machine,
                         const policies::Policy& policy,
                         std::optional<std::uint64_t> expected_suppressed)
 {
     ++audits_;
-    check_machine(machine);
-    check_fault_accounting(machine, expected_suppressed);
-    check_tx_accounting(machine);
+    std::uint64_t examined = 0;
+    examined += check_machine(machine);
+    examined += check_fault_accounting(machine, expected_suppressed);
+    examined += check_tx_accounting(machine);
     if (const auto* artmem =
             dynamic_cast<const core::ArtMem*>(&policy)) {
         if (artmem->initialized())
-            check_artmem(*artmem, machine);
+            examined += check_artmem(*artmem, machine);
     }
+    return examined;
 }
 
 }  // namespace artmem::verify

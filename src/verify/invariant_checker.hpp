@@ -92,6 +92,13 @@ class InvariantViolation : public std::runtime_error
  * The audit pass. Stateless apart from the audit counter; all check_*
  * entry points are usable independently (unit tests corrupt one
  * structure and call one check).
+ *
+ * Every check returns the number of items it examined (pages, list
+ * nodes, bins, Q-entries, reconciled counters) and is [[nodiscard]]:
+ * a call site that ignores the count is almost always a call site
+ * that would also swallow a zero-coverage audit, so the type system
+ * (and detlint rule DL004) make the acknowledgement explicit. Tests
+ * assert the count is positive in the pass direction.
  */
 class InvariantChecker
 {
@@ -103,24 +110,30 @@ class InvariantChecker
      * in-flight shadow copy to its destination tier and each
      * dual-resident secondary copy to its non-primary tier, matching
      * the machine's capacity bookkeeping.
+     * @returns pages examined plus per-tier counters reconciled.
      */
-    static void check_machine(const memsim::TieredMachine& machine);
+    [[nodiscard]] static std::uint64_t
+    check_machine(const memsim::TieredMachine& machine);
 
     /**
      * LRU list audit against the machine's residency: every list walk
      * must be consistent (links, sizes, where() labels, no cycles or
      * duplicates) and every linked page must be allocated and resident
      * in the tier the list belongs to.
+     * @returns page labels examined plus list nodes walked.
      */
-    static void check_lru(const lru::LruLists& lists,
-                          const memsim::TieredMachine& machine);
+    [[nodiscard]] static std::uint64_t
+    check_lru(const lru::LruLists& lists,
+              const memsim::TieredMachine& machine);
 
     /**
      * EMA histogram mass: recomputes each bin's population from the
      * per-page counters and compares with bin_pages(); total mass must
      * equal the page space.
+     * @returns per-page counters examined plus bins reconciled.
      */
-    static void check_ema(const stats::EmaBins& bins);
+    [[nodiscard]] static std::uint64_t
+    check_ema(const stats::EmaBins& bins);
 
     /**
      * Migration-failure counters vs. FaultInjector bookkeeping. In a
@@ -131,8 +144,9 @@ class InvariantChecker
      * pinned failures require a pinned fraction. @p expected_suppressed,
      * when provided (the engine's own running count), must equal the
      * injector's suppressed-sample count.
+     * @returns counter reconciliations performed.
      */
-    static void check_fault_accounting(
+    [[nodiscard]] static std::uint64_t check_fault_accounting(
         const memsim::TieredMachine& machine,
         std::optional<std::uint64_t> expected_suppressed = std::nullopt);
 
@@ -144,15 +158,19 @@ class InvariantChecker
      * plus dual-copy drops (each hit resolves exactly one way); and the
      * per-tier reclaimable count must equal a census of dual-resident
      * pages charged to that tier.
+     * @returns counters reconciled (plus pages censused when tx is on).
      */
-    static void check_tx_accounting(const memsim::TieredMachine& machine);
+    [[nodiscard]] static std::uint64_t
+    check_tx_accounting(const memsim::TieredMachine& machine);
 
     /**
      * Q-table sanity: every entry finite and |Q| <= @p bound.
      * @p label names the table in the violation dump.
+     * @returns Q-entries examined (states x actions).
      */
-    static void check_qtable(const rl::QTable& table, double bound,
-                             std::string_view label);
+    [[nodiscard]] static std::uint64_t
+    check_qtable(const rl::QTable& table, double bound,
+                 std::string_view label);
 
     /**
      * The Q-value bound implied by an ArtMem configuration: rewards are
@@ -162,18 +180,21 @@ class InvariantChecker
      */
     static double qtable_bound(const core::ArtMemConfig& config);
 
-    /** Audit ArtMem's internal structures (LRU, EMA, both Q-tables). */
-    static void check_artmem(const core::ArtMem& artmem,
-                             const memsim::TieredMachine& machine);
+    /** Audit ArtMem's internal structures (LRU, EMA, both Q-tables).
+     *  @returns the summed item counts of the four sub-checks. */
+    [[nodiscard]] static std::uint64_t
+    check_artmem(const core::ArtMem& artmem,
+                 const memsim::TieredMachine& machine);
 
     /**
      * Full per-interval audit: machine residency + fault accounting
      * always, ArtMem internals when @p policy is an ArtMem instance.
+     * @returns the summed item counts of every check performed.
      */
-    void audit(const memsim::TieredMachine& machine,
-               const policies::Policy& policy,
-               std::optional<std::uint64_t> expected_suppressed =
-                   std::nullopt);
+    [[nodiscard]] std::uint64_t
+    audit(const memsim::TieredMachine& machine,
+          const policies::Policy& policy,
+          std::optional<std::uint64_t> expected_suppressed = std::nullopt);
 
     /** Audits performed so far. */
     std::uint64_t audits() const { return audits_; }

@@ -1,0 +1,5 @@
+// detlint fixture: malformed suppressions — every marker below must
+// fire DL000 (and must NOT suppress anything).
+int fixture_a = 0;  // lint:allow(DL999) no such rule
+int fixture_b = 0;  // lint:allow(DL003)
+int fixture_c = 0;  // lint:allow(DL000) the meta-rule cannot be allowed

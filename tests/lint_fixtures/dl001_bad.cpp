@@ -1,0 +1,18 @@
+// detlint fixture: every line below must fire DL001 (wall-clock read).
+// Never compiled; excluded from the self-lint by configs/detlint.toml.
+#include <chrono>
+#include <ctime>
+
+long
+fixture_wall_clock_reads()
+{
+    auto a = std::chrono::steady_clock::now();
+    auto b = std::chrono::system_clock::now();
+    auto c = std::chrono::high_resolution_clock::now();
+    long d = time(nullptr);
+    long e = clock();
+    (void)a;
+    (void)b;
+    (void)c;
+    return d + e;
+}

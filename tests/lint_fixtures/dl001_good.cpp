@@ -1,0 +1,17 @@
+// detlint fixture: simulated-time usage — must produce no findings.
+#include <cstdint>
+
+struct Machine {
+    std::uint64_t now() const { return tick; }
+    std::uint64_t tick = 0;
+};
+
+std::uint64_t
+fixture_simulated_time(const Machine& machine)
+{
+    // Durations are fine; only clock *reads* are banned. A comment
+    // mentioning std::chrono::steady_clock must not fire either.
+    const std::uint64_t start = machine.now();
+    const char* label = "std::chrono::system_clock";  // string, not a call
+    return start + (label != nullptr ? 1u : 0u);
+}

@@ -1,0 +1,15 @@
+// detlint fixture: every construct below must fire DL002 (unseeded or
+// platform-seeded RNG).
+#include <cstdlib>
+#include <random>
+
+int
+fixture_platform_entropy()
+{
+    srand(42);
+    int a = rand();
+    std::random_device device;
+    std::mt19937 unseeded;
+    std::default_random_engine also_unseeded;
+    return a + static_cast<int>(device() + unseeded() + also_unseeded());
+}

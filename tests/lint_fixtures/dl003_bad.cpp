@@ -1,0 +1,15 @@
+// detlint fixture: every container below must fire DL003
+// (implementation-defined iteration order).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int
+fixture_hash_order(const std::unordered_map<std::string, int>& scores)
+{
+    std::unordered_set<int> seen;
+    int total = 0;
+    for (const auto& [name, value] : scores)
+        total += value + static_cast<int>(name.size());
+    return total + static_cast<int>(seen.size());
+}

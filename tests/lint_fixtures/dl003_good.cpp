@@ -1,0 +1,18 @@
+// detlint fixture: ordered containers — must produce no findings.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+int
+fixture_ordered_iteration(const std::map<std::string, int>& scores)
+{
+    std::set<int> seen;
+    std::vector<int> flat;
+    int total = 0;
+    for (const auto& [name, value] : scores) {
+        flat.push_back(value);
+        total += static_cast<int>(name.size());
+    }
+    return total + static_cast<int>(seen.size() + flat.size());
+}

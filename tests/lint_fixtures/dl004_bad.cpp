@@ -1,0 +1,17 @@
+// detlint fixture: discarded status results. Fires only when the test
+// config lists "try_load" and ".emit" as status functions.
+#include <iostream>
+#include <optional>
+
+struct Sink {
+    bool emit(std::ostream& os) { return os.good(); }
+};
+
+std::optional<int> try_load(int source);
+
+void
+fixture_discarded_status(Sink& sink)
+{
+    try_load(1);
+    sink.emit(std::cout);
+}

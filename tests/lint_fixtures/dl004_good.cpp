@@ -1,0 +1,21 @@
+// detlint fixture: consumed status results — must produce no findings
+// even with "try_load" and ".emit" configured as status functions.
+#include <iostream>
+#include <optional>
+
+struct Sink {
+    bool emit(std::ostream& os) { return os.good(); }
+};
+
+std::optional<int> try_load(int source);
+
+int
+fixture_consumed_status(Sink& sink)
+{
+    const auto loaded = try_load(1);
+    if (!sink.emit(std::cout))
+        return -1;
+    (void)try_load(2);  // explicit discard is an acknowledgement
+    // A free function named emit must not match the member-only entry.
+    return loaded.value_or(0);
+}

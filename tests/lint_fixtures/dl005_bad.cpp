@@ -1,0 +1,12 @@
+// detlint fixture: raw std synchronization primitives — every member
+// below must fire DL005.
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+struct FixtureRawPrimitives {
+    std::mutex mutex;
+    std::shared_mutex rw_mutex;
+    std::condition_variable cv;
+    std::condition_variable_any cv_any;
+};

@@ -1,0 +1,17 @@
+// detlint fixture: capability-annotated wrappers — must produce no
+// findings. Mirrors the util/sync.hpp pattern without including it
+// (fixtures are standalone).
+struct Mutex {
+    void lock();
+    void unlock();
+};
+
+struct CondVar {
+    void notify_one();
+};
+
+struct FixtureAnnotatedPrimitives {
+    Mutex mutex;
+    CondVar cv;
+    int guarded = 0;
+};

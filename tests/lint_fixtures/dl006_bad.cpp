@@ -1,0 +1,16 @@
+// detlint fixture: shared mutable statics — every declaration below
+// must fire DL006.
+#include <cstdint>
+#include <string>
+
+static int fixture_counter = 0;
+static std::uint64_t fixture_total;
+static std::string fixture_name = "shared";
+inline static double fixture_rate = 0.5;
+thread_local int fixture_scratch = 0;
+
+int
+fixture_bump()
+{
+    return ++fixture_counter;
+}

@@ -1,0 +1,17 @@
+// detlint fixture: immutable or non-static state — must produce no
+// findings.
+#include <cstdint>
+
+static const int kFixtureLimit = 8;
+static constexpr double kFixtureRate = 0.5;
+
+static int fixture_helper(int value);  // function, not data
+
+int
+fixture_local_state(int input)
+{
+    int counter = 0;  // per-call, not shared
+    counter += input;
+    return fixture_helper(counter) + kFixtureLimit +
+           static_cast<int>(kFixtureRate);
+}

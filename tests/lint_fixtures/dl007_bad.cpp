@@ -1,0 +1,15 @@
+// detlint fixture: order-sensitive floating-point reductions — every
+// statement below must fire DL007.
+#include <execution>
+#include <numeric>
+#include <vector>
+
+double
+fixture_unordered_reductions(const std::vector<double>& values)
+{
+    double a = std::reduce(values.begin(), values.end());
+    double b = std::reduce(std::execution::par, values.begin(),
+                           values.end());
+    double c = std::accumulate(values.begin(), values.end(), 0.0);
+    return a + b + c;
+}

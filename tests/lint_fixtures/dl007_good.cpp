@@ -1,0 +1,18 @@
+// detlint fixture: order-fixed reductions — must produce no findings.
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+double
+fixture_ordered_reductions(const std::vector<double>& values)
+{
+    // Explicit job-order loop: the reduction order is the code order.
+    double total = 0.0;
+    for (const double value : values)
+        total += value;
+    // Integer accumulate is exact; order cannot change the result.
+    std::vector<std::uint64_t> counts(4, 1);
+    const std::uint64_t n =
+        std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+    return total + static_cast<double>(n);
+}

@@ -1,0 +1,10 @@
+// detlint fixture: valid suppressions — must produce no findings.
+#include <unordered_map>
+
+// Same-line form: rule id plus a mandatory reason.
+std::unordered_map<int, int> fixture_cache;  // lint:allow(DL003,DL006) fixture: order never observed
+
+// Next-line form: a suppression on its own comment line covers the
+// following line of code.
+// lint:allow(DL003) fixture: keys are drained through a sorted copy
+std::unordered_map<int, int> fixture_index;

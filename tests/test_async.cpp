@@ -62,6 +62,42 @@ TEST(AsyncSampler, StopIsIdempotent)
     EXPECT_LE(sampler.dropped(), 1u);
 }
 
+TEST(AsyncSampler, ConcurrentStopsAllBlockUntilDrainCompletes)
+{
+    // Regression for the stop() join race the thread-safety pass
+    // surfaced: the old compare-exchange fast path let every stop()
+    // caller except the winner return while the drainer thread could
+    // still be delivering batches. A racing destructor then tore down
+    // the handler's captures under the drainer — a use-after-free TSan
+    // flags. Now every stop() holds the join handshake until the
+    // worker has exited, so after ANY stop() returns the handler can
+    // never run again.
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<std::uint64_t> delivered{0};
+        std::atomic<bool> handler_allowed{true};
+        {
+            AsyncSampler sampler(
+                1 << 10, [&](std::span<const PebsSample> batch) {
+                    EXPECT_TRUE(handler_allowed.load());
+                    delivered.fetch_add(batch.size(),
+                                        std::memory_order_relaxed);
+                });
+            std::uint64_t published = 0;
+            for (PageId p = 0; p < 2000; ++p) {
+                if (sampler.publish(p, Tier::kFast))
+                    ++published;
+            }
+            std::thread racer([&sampler] { sampler.stop(); });
+            sampler.stop();
+            // Both stops have returned: the drainer is gone, and every
+            // published record was delivered before it exited.
+            EXPECT_EQ(delivered.load(), published);
+            racer.join();
+            handler_allowed.store(false);
+        }  // destructor issues a third stop(); must also be safe
+    }
+}
+
 TEST(AsyncSampler, DropsUnderSustainedOverload)
 {
     // A tiny buffer with a slow consumer must shed load rather than

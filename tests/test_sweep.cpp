@@ -213,7 +213,7 @@ TEST(ResultSink, CsvMatchesTableOutput)
     sink.row().cell(std::string("s1")).cell(1.25, 2);
     sink.row().cell(std::string("s2")).cell(0.5, 2);
     std::ostringstream csv;
-    sink.emit(csv, sweep::Format::kCsv);
+    ASSERT_TRUE(sink.emit(csv, sweep::Format::kCsv));
     EXPECT_EQ(csv.str(), "workload,runtime\ns1,1.25\ns2,0.50\n");
 
     Table table({"workload", "runtime"});
@@ -232,7 +232,7 @@ TEST(ResultSink, JsonQuotesLabelsAndEmitsNumbersRaw)
         .cell(std::string("1:16"))
         .cell(1.5, 3);
     std::ostringstream os;
-    sink.emit(os, sweep::Format::kJson);
+    ASSERT_TRUE(sink.emit(os, sweep::Format::kJson));
     EXPECT_EQ(os.str(), "[\n  {\"policy\": \"artmem\", "
                         "\"ratio\": \"1:16\", \"runtime\": 1.500}\n]\n");
 }

@@ -157,7 +157,8 @@ write_sweep_telemetry(const std::vector<sim::RunResult>& runs,
         for (const auto& [name, value] : merged.summary_rows())
             table.row().cell(name).cell(value);
         std::cout << "merged metrics\n";
-        table.emit(std::cout, format);
+        if (!table.emit(std::cout, format))
+            fatal("metrics emission failed: output stream went bad");
     }
     if (!outs.trace_out.empty()) {
         auto jsonl = open_out(outs.trace_out + ".jsonl");
@@ -308,7 +309,8 @@ cmd_sweep(const CliArgs& args)
                             : (args.get_bool("csv", false)
                                    ? sweep::Format::kCsv
                                    : sweep::Format::kTable);
-    table.emit(std::cout, format);
+    if (!table.emit(std::cout, format))
+        fatal("result emission failed: output stream went bad");
     write_sweep_telemetry(runs, touts, format);
     return 0;
 }

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * detlint — the repo's rule-coded determinism & concurrency linter.
+ *
+ * Replaces the grep half of scripts/check_lint.sh with a real
+ * analyzer: every ban is a numbered rule (DL001..DL007, catalog in
+ * DESIGN.md §11), findings carry file/line/excerpt, suppressions are
+ * per-rule with a mandatory reason, path allowlists live in a
+ * checked-in config (configs/detlint.toml), and output is available as
+ * machine-readable JSON for CI artifacts.
+ *
+ * The scanner is line-based over comment- and string-stripped source:
+ * it is a lint, not a compiler — heuristic by design, precise enough
+ * that the tree runs finding-free (the detlint_selflint ctest target),
+ * and every rule is exercised in both directions by the fixture corpus
+ * under tests/lint_fixtures/.
+ *
+ * detlint is deliberately dependency-free (not even artmem_util): it
+ * must stay buildable and runnable in the lint stage before anything
+ * else compiles, and it must itself pass the determinism rules it
+ * enforces (sorted directory walks, no clocks, no hash containers).
+ */
+#ifndef ARTMEM_TOOLS_DETLINT_HPP
+#define ARTMEM_TOOLS_DETLINT_HPP
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace artmem::detlint {
+
+/** One catalog entry; --list-rules prints these. */
+struct RuleInfo {
+    std::string_view id;         ///< "DL001"
+    std::string_view title;      ///< Short name, e.g. "wall-clock read".
+    std::string_view rationale;  ///< Why the construct is banned.
+};
+
+/**
+ * The rule catalog, in id order. DL000 is the meta-rule for malformed
+ * suppressions (unknown rule id, or a lint:allow with no reason).
+ */
+const std::vector<RuleInfo>& rule_catalog();
+
+/** True when @p id names a catalog rule (including DL000). */
+bool known_rule(std::string_view id);
+
+/** One lint finding. */
+struct Finding {
+    std::string rule;     ///< Rule id ("DL003").
+    std::string path;     ///< File as given to the scanner.
+    std::size_t line = 0; ///< 1-based line number.
+    std::string message;  ///< Rule title + context.
+    std::string excerpt;  ///< Offending source line, trimmed.
+};
+
+/**
+ * Scanner configuration (configs/detlint.toml).
+ *
+ * Path lists hold repo-relative prefixes; a file matches a prefix when
+ * its path starts with it or contains it at a directory boundary, so
+ * both `detlint src` from the repo root and absolute-path invocations
+ * resolve the same allowlists.
+ */
+struct Config {
+    /** File extensions scanned during directory walks. */
+    std::vector<std::string> extensions = {".cpp", ".hpp"};
+    /** Path prefixes excluded from scanning entirely. */
+    std::vector<std::string> exclude;
+    /** Per-rule path allowlists: rule id -> path prefixes. */
+    std::map<std::string, std::vector<std::string>> allow;
+    /**
+     * DL004: function names whose returned status must not be
+     * discarded (the CI-side echo of the [[nodiscard]] annotations).
+     */
+    std::vector<std::string> status_functions;
+};
+
+/**
+ * Parse the TOML subset used by configs/detlint.toml: `[lint]` with
+ * `extensions`/`exclude`, and `[rules.DLxxx]` with `allow` (and
+ * `functions` for DL004). Arrays are single-line, values are quoted
+ * strings, `#` starts a comment. On error returns false and sets
+ * @p error to "line N: what".
+ */
+bool parse_config(std::istream& is, Config& config, std::string& error);
+
+/** parse_config over a file; error mentions the path. */
+bool load_config(const std::string& path, Config& config,
+                 std::string& error);
+
+/**
+ * Lint one in-memory source file. @p path is used for reporting and
+ * allowlist matching only.
+ */
+std::vector<Finding> lint_text(std::string_view path,
+                               std::string_view text,
+                               const Config& config);
+
+/**
+ * Lint files and directory trees (recursive, extension-filtered,
+ * lexicographically sorted so output order is deterministic). I/O
+ * problems are reported in @p errors; scanning continues past them.
+ */
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
+                                const Config& config,
+                                std::vector<std::string>& errors);
+
+/** Human-readable report, one line per finding plus a summary. */
+void write_text(std::ostream& os, const std::vector<Finding>& findings);
+
+/** Machine-readable report: {"tool","rules",...,"findings":[...]}. */
+void write_json(std::ostream& os, const std::vector<Finding>& findings);
+
+}  // namespace artmem::detlint
+
+#endif  // ARTMEM_TOOLS_DETLINT_HPP
