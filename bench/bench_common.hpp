@@ -1,9 +1,9 @@
 /**
  * @file
  * Shared plumbing for the figure/table bench harnesses: common CLI
- * flags (--accesses, --seed, --quick, --csv, --json, --jobs), the
- * sweep-runner construction, result emission, and the normalization
- * helpers the figures share.
+ * flags (--accesses, --seed, --quick, --csv, --json, --jobs,
+ * --shards), the sweep-runner construction, result emission, and the
+ * normalization helpers the figures share.
  */
 #ifndef ARTMEM_BENCH_COMMON_HPP
 #define ARTMEM_BENCH_COMMON_HPP
@@ -38,6 +38,10 @@ struct BenchOptions {
     bool json = false;
     /** Sweep worker threads (--jobs); 0 = one per hardware thread. */
     unsigned jobs = 0;
+    /** Access-path shards per run (--shards); 0 = legacy loop.
+     *  Byte-identical output for every value, like --jobs
+     *  (scripts/ci.sh diffs a two-way fig7 run). */
+    unsigned shards = 0;
 
     /**
      * Parse the shared flag set; @p extra_flags names any harness-
@@ -51,7 +55,7 @@ struct BenchOptions {
     {
         const auto args = CliArgs::parse(argc, argv);
         static constexpr std::string_view kShared[] = {
-            "accesses", "seed", "quick", "csv", "json", "jobs"};
+            "accesses", "seed", "quick", "csv", "json", "jobs", "shards"};
         for (const auto& name : args.flag_names()) {
             const bool known =
                 std::find(std::begin(kShared), std::end(kShared), name) !=
@@ -60,8 +64,9 @@ struct BenchOptions {
                     extra_flags.end();
             if (!known)
                 fatal("unknown flag --", name, " (known flags: --accesses ",
-                      "--seed --quick --csv --json --jobs and harness-",
-                      "specific ones; see the file header of this bench)");
+                      "--seed --quick --csv --json --jobs --shards and ",
+                      "harness-specific ones; see the file header of this ",
+                      "bench)");
         }
         BenchOptions opt;
         if (args.has("accesses")) {
@@ -76,6 +81,7 @@ struct BenchOptions {
         opt.csv = args.get_bool("csv", false);
         opt.json = args.get_bool("json", false);
         opt.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
+        opt.shards = static_cast<unsigned>(args.get_int("shards", 0));
         return opt;
     }
 
@@ -116,6 +122,7 @@ make_spec(const BenchOptions& opt, std::string workload, std::string policy,
     spec.ratio = ratio;
     spec.accesses = opt.accesses;
     spec.seed = opt.seed;
+    spec.engine.shards = opt.shards;
     return spec;
 }
 

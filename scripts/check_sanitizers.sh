@@ -4,7 +4,8 @@
 # differential-model (test_diff_model) and property (test_property)
 # harnesses — then every suite that spawns threads (ring buffer /
 # async sampler, sweep thread pool, telemetry merge, transactional
-# migration) plus a real parallel --jobs 4 sweep under TSan. Any
+# migration, sharded access pipeline) plus a real parallel --jobs 4
+# sweep and a --shards 2 sharded sweep under TSan. Any
 # sanitizer report fails the run (halt_on_error / abort_on_error
 # below). The TSan half is the runtime complement of the compile-time
 # Clang -Wthread-safety annotations (DESIGN.md §11): the annotations
@@ -38,7 +39,8 @@ cmake -B "${prefix}-tsan" -S . \
     -DARTMEM_SANITIZE=thread > /dev/null
 cmake --build "${prefix}-tsan" -j "${jobs}" \
     --target test_async test_memsim test_sweep test_telemetry \
-             test_tx_migration bench_fig7_main
+             test_tx_migration test_sharded test_diff_model \
+             test_property bench_fig7_main
 
 echo "==> TSan test run (threaded suites)"
 TSAN_OPTIONS=halt_on_error=1 "${prefix}-tsan/tests/test_async"
@@ -47,10 +49,18 @@ TSAN_OPTIONS=halt_on_error=1 "${prefix}-tsan/tests/test_memsim" \
 TSAN_OPTIONS=halt_on_error=1 "${prefix}-tsan/tests/test_sweep"
 TSAN_OPTIONS=halt_on_error=1 "${prefix}-tsan/tests/test_telemetry"
 TSAN_OPTIONS=halt_on_error=1 "${prefix}-tsan/tests/test_tx_migration"
+TSAN_OPTIONS=halt_on_error=1 "${prefix}-tsan/tests/test_sharded"
+TSAN_OPTIONS=halt_on_error=1 "${prefix}-tsan/tests/test_diff_model"
+TSAN_OPTIONS=halt_on_error=1 "${prefix}-tsan/tests/test_property"
 
 echo "==> TSan parallel sweep (--jobs 4, real thread-pool contention)"
 TSAN_OPTIONS=halt_on_error=1 \
     "${prefix}-tsan/bench/bench_fig7_main" --csv --accesses=50000 --jobs=4 \
     > "${prefix}-tsan/fig7_tsan.csv"
+
+echo "==> TSan sharded sweep (--shards 2, sharded access pipeline)"
+TSAN_OPTIONS=halt_on_error=1 \
+    "${prefix}-tsan/bench/bench_fig7_main" --csv --accesses=50000 \
+    --shards=2 > "${prefix}-tsan/fig7_tsan_shards.csv"
 
 echo "==> sanitizers clean"

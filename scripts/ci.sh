@@ -12,23 +12,29 @@
 #   5. sweep determinism: bench_fig7_main --csv run twice, --jobs 1 vs
 #      --jobs 4, and the outputs diffed byte-for-byte (the parallel
 #      sweep runner must not change a single emitted number),
-#   6. telemetry smoke: a traced masim_runner run on
+#   6. shard determinism: the same fig7 sweep with --shards 1 vs
+#      --shards 4 diffed byte-for-byte against the --jobs baseline from
+#      step 5, plus a traced artmem abort-storm run at --shards=1 vs
+#      --shards=4 with stdout, metrics and both trace files compared
+#      (the sharded access pipeline must not change a single emitted
+#      byte, DESIGN.md §12),
+#   7. telemetry smoke: a traced masim_runner run on
 #      configs/telemetry_smoke.cfg; the Chrome trace and metrics files
 #      must be valid JSON (python3 -m json.tool) and a second identical
 #      seeded run must reproduce the metrics and trace byte-for-byte,
-#   7. transactional-migration smoke: a traced --tx-migration run under
+#   8. transactional-migration smoke: a traced --tx-migration run under
 #      --fault-scenario=abort_storm with --check-invariants executed
 #      twice and diffed byte-for-byte (stdout + both trace files), plus
 #      a plain run diffed against an explicit --tx-migration=false run
 #      (the disabled engine must be a strict no-op through the whole
 #      CLI path),
-#   8. perf-regression smoke: scripts/check_perf.sh runs the end-to-end
+#   9. perf-regression smoke: scripts/check_perf.sh runs the end-to-end
 #      hot-path throughput benchmarks (bench_overheads --quick) and
 #      compares accesses/sec against BENCH_hotpath.json with a 30%
 #      tolerance,
-#   9. (optional, slow) sanitizers: pass --sanitizers to append
+#  10. (optional, slow) sanitizers: pass --sanitizers to append
 #      scripts/check_sanitizers.sh,
-#  10. (optional, slow) coverage: pass --coverage to append
+#  11. (optional, slow) coverage: pass --coverage to append
 #      scripts/check_coverage.sh (instrumented build + line-coverage
 #      floor on src/memsim and src/lru).
 #
@@ -50,16 +56,16 @@ for arg in "$@"; do
     esac
 done
 
-echo "==> [1/8] default build + tests"
+echo "==> [1/9] default build + tests"
 cmake -B build -S . > /dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "==> [2/8] strict build (ARTMEM_STRICT=ON)"
+echo "==> [2/9] strict build (ARTMEM_STRICT=ON)"
 cmake -B build-strict -S . -DARTMEM_STRICT=ON > /dev/null
 cmake --build build-strict -j "${jobs}"
 
-echo "==> [3/8] lint"
+echo "==> [3/9] lint"
 # In CI (GitHub Actions sets CI=true) a missing clang-tidy is a
 # failure, not a silent skip; locally the detlint half alone passes.
 if [[ -n "${CI:-}" ]]; then
@@ -68,7 +74,7 @@ else
     scripts/check_lint.sh build
 fi
 
-echo "==> [4/8] invariant-checked fault sweep"
+echo "==> [4/9] invariant-checked fault sweep"
 for scenario in none migration degrade blackout pressure; do
     echo "--- scenario ${scenario}"
     ./build/tools/artmem run --workload=s2 --policy=artmem --ratio=1:4 \
@@ -76,7 +82,7 @@ for scenario in none migration degrade blackout pressure; do
         --check-invariants
 done
 
-echo "==> [5/8] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
+echo "==> [5/9] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
 ./build/bench/bench_fig7_main --csv --accesses=200000 --jobs=1 \
     > build/fig7_jobs1.csv
 ./build/bench/bench_fig7_main --csv --accesses=200000 --jobs=4 \
@@ -84,7 +90,34 @@ echo "==> [5/8] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
 cmp build/fig7_jobs1.csv build/fig7_jobs4.csv
 echo "sweep output identical across --jobs 1 and --jobs 4"
 
-echo "==> [6/8] telemetry smoke (traced run, JSON validity, byte-identity)"
+echo "==> [6/9] shard determinism (--shards 1 vs --shards 4, byte-for-byte)"
+# The sharded access pipeline (DESIGN.md §12) carries the same contract
+# as the parallel sweep runner: every shard count must reproduce the
+# legacy loop byte-for-byte. Diff the whole fig7 sweep across shard
+# counts AND against the unsharded baseline from step 5.
+./build/bench/bench_fig7_main --csv --accesses=200000 --shards=1 \
+    > build/fig7_shards1.csv
+./build/bench/bench_fig7_main --csv --accesses=200000 --shards=4 \
+    > build/fig7_shards4.csv
+cmp build/fig7_shards1.csv build/fig7_shards4.csv
+cmp build/fig7_jobs1.csv build/fig7_shards4.csv
+# A traced abort-storm run is the nastiest single-run case (faults,
+# transactions, handler-driven migrations, full telemetry): stdout,
+# metrics and both trace files must match across shard counts.
+shard_run=(./build/tools/artmem run --workload=ycsb --policy=artmem
+    --ratio=1:4 --accesses=800000 --check-invariants --tx-migration
+    --tx-write-ratio=0.05 --fault-scenario=abort_storm)
+"${shard_run[@]}" --shards=1 --metrics-out=build/shards_a.metrics.json \
+    --trace-out=build/shards_a > build/shards_a.out
+"${shard_run[@]}" --shards=4 --metrics-out=build/shards_b.metrics.json \
+    --trace-out=build/shards_b > build/shards_b.out
+cmp build/shards_a.out build/shards_b.out
+cmp build/shards_a.metrics.json build/shards_b.metrics.json
+cmp build/shards_a.jsonl build/shards_b.jsonl
+cmp build/shards_a.json build/shards_b.json
+echo "output identical across --shards 1 and --shards 4"
+
+echo "==> [7/9] telemetry smoke (traced run, JSON validity, byte-identity)"
 ./build/examples/masim_runner configs/telemetry_smoke.cfg \
     --policy=artmem --ratio=1:4 \
     --metrics-out=build/telemetry_a.metrics.json \
@@ -100,7 +133,7 @@ cmp build/telemetry_a.jsonl build/telemetry_b.jsonl
 cmp build/telemetry_a.json build/telemetry_b.json
 echo "telemetry outputs valid JSON and byte-identical across reruns"
 
-echo "==> [7/8] transactional-migration smoke (abort storm, byte-identity)"
+echo "==> [8/9] transactional-migration smoke (abort storm, byte-identity)"
 tx_run=(./build/tools/artmem run --workload=ycsb --policy=artmem
     --ratio=1:4 --accesses=800000 --check-invariants)
 "${tx_run[@]}" --tx-migration --tx-write-ratio=0.05 \
@@ -115,7 +148,7 @@ cmp build/tx_a.json build/tx_b.json
 cmp build/tx_off_a.out build/tx_off_b.out
 echo "abort-storm reruns byte-identical; disabled engine is a no-op"
 
-echo "==> [8/8] perf-regression smoke (hot-path throughput)"
+echo "==> [9/9] perf-regression smoke (hot-path throughput)"
 scripts/check_perf.sh build
 
 if [[ "${run_sanitizers}" -eq 1 ]]; then

@@ -1,0 +1,208 @@
+#include "memsim/sharded_access.hpp"
+
+#include "util/logging.hpp"
+
+namespace artmem::memsim {
+
+ShardedAccessEngine::ShardedAccessEngine(TieredMachine& machine,
+                                         const Config& config)
+    : machine_(machine), shards_(config.shards), audit_(config.audit)
+{
+    if (shards_ == 0 || shards_ > kNumSlices)
+        fatal("ShardedAccessEngine: shard count must be in [1, ",
+              kNumSlices, "], got ", shards_);
+    for (unsigned sl = 0; sl < kNumSlices; ++sl)
+        slice_owner_[sl] = static_cast<std::uint8_t>(sl % shards_);
+    lanes_.resize(shards_);
+    for (unsigned s = 0; s < shards_; ++s) {
+        lanes_[s].rng.seed(derive_seed(config.seed, SeedDomain::kShard, s));
+        // Worst case every access in a batch lands in one lane; size
+        // for the engine's default batch up front so steady state never
+        // allocates. Larger batches grow once and stay.
+        lanes_[s].entries.reserve(1024);
+    }
+    if (shards_ > 1)
+        pool_ = std::make_unique<ThreadPool>(shards_ - 1);
+}
+
+void
+ShardedAccessEngine::process(const PageId* pages, std::size_t n,
+                             PebsSampler& sampler)
+{
+    process_impl<false>(pages, n, sampler, nullptr);
+}
+
+void
+ShardedAccessEngine::process_faulted(const PageId* pages, std::size_t n,
+                                     PebsSampler& sampler,
+                                     std::uint64_t& pebs_suppressed)
+{
+    if (machine_.faults_ == nullptr)
+        panic("ShardedAccessEngine::process_faulted without an installed "
+              "fault injector");
+    process_impl<true>(pages, n, sampler, &pebs_suppressed);
+}
+
+std::uint64_t
+ShardedAccessEngine::audited_accesses() const
+{
+    std::uint64_t total = 0;
+    for (const Lane& lane : lanes_)
+        total += lane.audited;
+    return total;
+}
+
+void
+ShardedAccessEngine::scan_lane(unsigned lane, const PageId* pages,
+                               std::size_t n)
+{
+    // Bits that disqualify an access from pre-classification: first
+    // touch (not yet allocated), an armed trap, or transactional flags.
+    // Everything else is a plain access whose tier cannot change before
+    // its phase-2 turn (migrations happen only in handlers and decision
+    // boundaries, and a handler firing switches phase 2 to the legacy
+    // tail, which ignores pre-scanned codes entirely).
+    constexpr std::uint8_t kSpecialMask =
+        TieredMachine::kTrapBit | TieredMachine::kTxAccessMask;
+
+    Lane& ln = lanes_[lane];
+    ln.entries.clear();
+    ln.cursor = 0;
+    std::uint8_t* const flags = machine_.flags_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        const PageId page = pages[i];
+        if (owner_of(page) != lane)
+            continue;
+        const std::uint8_t f = flags[page];
+        std::uint32_t code;
+        if ((f & TieredMachine::kAllocatedBit) != 0 &&
+            (f & kSpecialMask) == 0) {
+            code = f & TieredMachine::kTierBit;  // kCodeFast / kCodeSlow
+            // The one phase-1 machine mutation: the accessed bit the
+            // serial replay would set. Owned pages only => disjoint
+            // bytes across shards. Idempotent under duplicates and
+            // invisible to the legacy tail (access_step ORs it anyway).
+            flags[page] = static_cast<std::uint8_t>(
+                f | TieredMachine::kAccessedBit);
+        } else {
+            code = kCodeSpecial;
+        }
+        ln.entries.push_back(static_cast<std::uint32_t>(i) << 2 | code);
+        if (audit_ && (ln.rng.next() & 1023u) == 0) {
+            // Randomized self-check: re-read the byte just classified
+            // and verify the classification is internally consistent.
+            // The draw comes from this lane's private kShard-domain
+            // stream, so sampling decisions are deterministic per
+            // (seed, lane) and feed nothing observable.
+            const std::uint8_t g = flags[page];
+            if (owner_of(page) != lane)
+                panic("sharded audit: lane ", lane,
+                      " scanned foreign page ", page);
+            if (code != kCodeSpecial &&
+                ((g & TieredMachine::kAllocatedBit) == 0 ||
+                 (g & TieredMachine::kAccessedBit) == 0 ||
+                 (g & TieredMachine::kTierBit) != code))
+                panic("sharded audit: page ", page,
+                      " classified code ", code,
+                      " but flags read back 0x", g);
+            ++ln.audited;
+        }
+    }
+}
+
+template <bool kFaulted>
+void
+ShardedAccessEngine::process_impl(const PageId* pages, std::size_t n,
+                                  PebsSampler& sampler,
+                                  std::uint64_t* pebs_suppressed)
+{
+    if (n == 0)
+        return;
+    if (n > kMaxBatch)
+        fatal("ShardedAccessEngine: batch of ", n, " exceeds kMaxBatch");
+    ++batches_;
+
+    // Phase 1: ownership scan. Shard 0 runs on the calling thread;
+    // shards 1..N-1 on the pool. wait() is the barrier ordering all
+    // lane writes (and accessed-bit writes) before phase 2 reads.
+    if (shards_ == 1) {
+        scan_lane(0, pages, n);
+    } else {
+        for (unsigned s = 1; s < shards_; ++s)
+            pool_->submit([this, s, pages, n] { scan_lane(s, pages, n); });
+        scan_lane(0, pages, n);
+        pool_->wait();
+    }
+
+    // Phase 2: serial epoch merge in original batch order. Exactly the
+    // legacy batch loop's observable sequence: plain entries replay the
+    // pre-computed classification; special entries (and everything
+    // after a trap handler fires) go through access_step(), the shared
+    // per-access body.
+    std::uint8_t* const flags = machine_.flags_.data();
+    const SimTimeNs lat[kTierCount] = {machine_.latency_[0],
+                                       machine_.latency_[1]};
+    TieredMachine::BatchCtx ctx{machine_.now_, {0, 0}, false};
+    std::size_t i = 0;
+    for (; i < n && !ctx.handler_ran; ++i) {
+        const PageId page = pages[i];
+        Lane& ln = lanes_[owner_of(page)];
+        const std::uint32_t entry = ln.entries[ln.cursor++];
+        if ((entry >> 2) != i) [[unlikely]]
+            panic_partition(page, i, entry);
+        const std::uint32_t code = entry & 3u;
+        if (code == kCodeSpecial) {
+            machine_.access_step<kFaulted>(page, flags, lat, ctx, sampler,
+                                           pebs_suppressed);
+            continue;
+        }
+        const int t = static_cast<int>(code);
+        const Tier tier = t != 0 ? Tier::kSlow : Tier::kFast;
+        if constexpr (kFaulted)
+            ctx.now +=
+                machine_.faults_->effective_latency(tier, lat[t], ctx.now);
+        else
+            ctx.now += lat[t];
+        ++ctx.acc[t];
+        if constexpr (kFaulted) {
+            if (machine_.faults_->sample_suppressed(ctx.now)) [[unlikely]]
+                ++*pebs_suppressed;
+            else
+                sampler.observe(page, tier);
+        } else {
+            sampler.observe(page, tier);
+        }
+    }
+    if (i < n) {
+        // Legacy tail: a trap handler ran and may have migrated pages,
+        // so every pre-scanned tier code is suspect. Finish the batch
+        // through the shared per-access body with fresh flag reads;
+        // unconsumed lane entries are simply dropped.
+        ++legacy_tails_;
+        for (; i < n; ++i)
+            machine_.access_step<kFaulted>(pages[i], flags, lat, ctx,
+                                           sampler, pebs_suppressed);
+    }
+    machine_.flush_batch_ctx(ctx);
+}
+
+void
+ShardedAccessEngine::panic_partition(PageId page, std::size_t index,
+                                     std::uint32_t entry) const
+{
+    panic("sharded epoch merge: lane for page ", page, " (slice ",
+          slice_of(page), ", owner ", owner_of(page),
+          ") is out of sync at batch index ", index, ": entry index ",
+          entry >> 2, " — ownership partition violated");
+}
+
+template void ShardedAccessEngine::process_impl<false>(const PageId*,
+                                                       std::size_t,
+                                                       PebsSampler&,
+                                                       std::uint64_t*);
+template void ShardedAccessEngine::process_impl<true>(const PageId*,
+                                                      std::size_t,
+                                                      PebsSampler&,
+                                                      std::uint64_t*);
+
+}  // namespace artmem::memsim

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Sharded access front end: parallel ownership scan + deterministic
+ * epoch merge (DESIGN.md §12).
+ *
+ * The simulation hot loop is a serial dependency chain — every access
+ * advances the one simulated clock — so it cannot be parallelised by
+ * splitting the access stream naively. What CAN be parallelised is the
+ * per-access page-metadata work: reading the flag byte, classifying the
+ * access, and setting the accessed bit. ShardedAccessEngine splits the
+ * page space into fixed ownership slices, lets one shard per slice
+ * group do that metadata work concurrently (phase 1), and then replays
+ * the batch serially in original order to advance the clock, charge
+ * latencies, and feed the PEBS sampler (phase 2, the "epoch merge").
+ *
+ * Determinism contract: results are byte-identical across shard counts
+ * AND to the unsharded batch loop, because
+ *
+ *  - ownership is a pure function of the page number over a FIXED
+ *    number of slices (64), independent of the shard count — shards
+ *    own slice groups, so changing --shards only changes which thread
+ *    did the scan, never what was scanned;
+ *  - phase 1 performs no clock-, counter-, RNG-, or sampler-visible
+ *    work. Its only machine mutation is setting accessed bits on
+ *    owned plain pages — a write the serial replay would have done
+ *    anyway, and one nothing can observe mid-batch (policies read
+ *    accessed bits only from tick/interval callbacks, which run
+ *    between batches);
+ *  - phase 2 walks the batch in original index order on the calling
+ *    thread, consuming each shard's (index-sorted) lane, so every
+ *    latency charge, fault-injector draw, and sampler observation
+ *    happens in exactly the legacy order;
+ *  - accesses that phase 1 cannot pre-classify (first touch, armed
+ *    trap, transactional flags) are marked special and replayed
+ *    through TieredMachine::access_step() — the same code the
+ *    unsharded loop runs — with a fresh flag read;
+ *  - the moment a trap handler actually runs (it may migrate pages,
+ *    invalidating pre-scanned tiers), phase 2 falls back to
+ *    access_step() for the entire remaining batch ("legacy tail").
+ *
+ * Thread safety: shards touch disjoint flag bytes (ownership is a
+ * partition), each worker writes only its own cache-line-aligned lane,
+ * and the ThreadPool's wait() barrier orders phase 1 before phase 2 —
+ * no locks needed beyond the pool's own annotated util::Mutex
+ * internals. scripts/check_sanitizers.sh runs the sharded suites under
+ * TSan to enforce this.
+ */
+#ifndef ARTMEM_MEMSIM_SHARDED_ACCESS_HPP
+#define ARTMEM_MEMSIM_SHARDED_ACCESS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "memsim/pebs.hpp"
+#include "memsim/tiered_machine.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace artmem::memsim {
+
+/**
+ * Parallel per-shard metadata scan + serial deterministic replay over
+ * one TieredMachine. Construct once per run and call process() /
+ * process_faulted() wherever access_batch() / access_batch_faulted()
+ * would be called; the outputs are bit-identical (tests/test_sharded
+ * and tests/test_diff_model enforce this against the scalar oracle).
+ */
+class ShardedAccessEngine
+{
+  public:
+    /**
+     * Ownership slices in the page space. Fixed (not a function of the
+     * shard count) so that the owner map — and therefore every lane's
+     * content — is identical for every --shards value. 64 slices caps
+     * useful shard counts at 64, far above any machine this simulator
+     * targets.
+     */
+    static constexpr unsigned kNumSlices = 64;
+
+    /**
+     * Pages per ownership block: 64 pages = one cache line of the
+     * machine's flag array, so one shard's phase-1 writes never share
+     * a line with another's (beyond unaligned vector edges).
+     */
+    static constexpr unsigned kSliceBlockShift = 6;
+
+    /** Hard cap on the batch index packed into a lane entry. */
+    static constexpr std::size_t kMaxBatch = 1u << 30;
+
+    struct Config {
+        /** Shard count; 1..kNumSlices. 1 = serial scan, no pool. */
+        unsigned shards = 1;
+        /**
+         * Base seed for the per-shard audit streams, derived per lane
+         * via derive_seed(seed, SeedDomain::kShard, lane) — disjoint
+         * from sweep-job streams by construction (util/rng.hpp).
+         */
+        std::uint64_t seed = 0;
+        /**
+         * Enable randomized phase-1 self-checks: each lane re-reads
+         * ~1/1024 of its classified flag bytes and panics on any
+         * classification/ownership inconsistency. Output-neutral (the
+         * audit RNG feeds nothing observable). Wired to
+         * EngineConfig::check_invariants.
+         */
+        bool audit = false;
+    };
+
+    /** Bind to @p machine; fatal() on an out-of-range shard count. */
+    ShardedAccessEngine(TieredMachine& machine, const Config& config);
+
+    /** Sharded equivalent of TieredMachine::access_batch(). */
+    void process(const PageId* pages, std::size_t n, PebsSampler& sampler);
+
+    /** Sharded equivalent of TieredMachine::access_batch_faulted(). */
+    void process_faulted(const PageId* pages, std::size_t n,
+                         PebsSampler& sampler,
+                         std::uint64_t& pebs_suppressed);
+
+    /** Ownership slice of a page: block-cyclic over kNumSlices. */
+    static unsigned
+    slice_of(PageId page)
+    {
+        return static_cast<unsigned>(page >> kSliceBlockShift) &
+               (kNumSlices - 1);
+    }
+
+    /** Shard that owns @p page under this engine's shard count. */
+    unsigned owner_of(PageId page) const
+    {
+        return slice_owner_[slice_of(page)];
+    }
+
+    /** Shard that owns slice @p slice (slice % shards). */
+    unsigned slice_owner(unsigned slice) const
+    {
+        return slice_owner_[slice & (kNumSlices - 1)];
+    }
+
+    /** Configured shard count. */
+    unsigned shards() const { return shards_; }
+
+    /** Batches processed so far. */
+    std::uint64_t batches() const { return batches_; }
+
+    /** Batches that fell back to the legacy tail mid-way. */
+    std::uint64_t legacy_tails() const { return legacy_tails_; }
+
+    /** Phase-1 self-check samples performed across all lanes. */
+    std::uint64_t audited_accesses() const;
+
+  private:
+    /** Packed lane-entry codes (low 2 bits; high 30 = batch index). */
+    static constexpr std::uint32_t kCodeFast = 0;     // plain, fast tier
+    static constexpr std::uint32_t kCodeSlow = 1;     // plain, slow tier
+    static constexpr std::uint32_t kCodeSpecial = 2;  // replay access_step
+
+    /**
+     * Per-shard scan output. Cache-line aligned so concurrent workers
+     * never write the same line; entries are naturally sorted by batch
+     * index because each worker scans the batch front to back.
+     */
+    struct alignas(64) Lane {
+        std::vector<std::uint32_t> entries;
+        std::size_t cursor = 0;
+        /** Private audit stream; never feeds simulation output. */
+        Rng rng;
+        std::uint64_t audited = 0;
+    };
+
+    /** Phase 1 for one shard: classify owned pages, set accessed bits. */
+    void scan_lane(unsigned lane, const PageId* pages, std::size_t n);
+
+    /** Phase 1 fan-out + phase 2 serial epoch merge. */
+    template <bool kFaulted>
+    void process_impl(const PageId* pages, std::size_t n,
+                      PebsSampler& sampler, std::uint64_t* pebs_suppressed);
+
+    [[noreturn]] void panic_partition(PageId page, std::size_t index,
+                                      std::uint32_t entry) const;
+
+    TieredMachine& machine_;
+    const unsigned shards_;
+    const bool audit_;
+    std::uint8_t slice_owner_[kNumSlices];
+    std::vector<Lane> lanes_;
+    /** Workers for shards 1..N-1; null when shards_ == 1. Shard 0
+     *  always scans on the calling thread. */
+    std::unique_ptr<ThreadPool> pool_;
+    std::uint64_t batches_ = 0;
+    std::uint64_t legacy_tails_ = 0;
+};
+
+}  // namespace artmem::memsim
+
+#endif  // ARTMEM_MEMSIM_SHARDED_ACCESS_HPP

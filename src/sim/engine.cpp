@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include "memsim/sharded_access.hpp"
 #include "util/logging.hpp"
 
 #if ARTMEM_CHECK_INVARIANTS
@@ -68,6 +69,18 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
     }
     memsim::PebsSampler sampler(config.pebs);
     std::uint64_t pebs_suppressed = 0;
+
+    // Sharded access pipeline (config.shards >= 1). Constructed once so
+    // its lanes and worker pool persist across batches; null on the
+    // legacy path. Byte-identical output either way — the sharded walk
+    // replays the exact batch-loop sequence (memsim/sharded_access.hpp).
+    std::unique_ptr<memsim::ShardedAccessEngine> sharded;
+    if (config.shards > 0) {
+        sharded = std::make_unique<memsim::ShardedAccessEngine>(
+            machine, memsim::ShardedAccessEngine::Config{
+                         config.shards, config.shard_seed,
+                         config.check_invariants});
+    }
 
 #if ARTMEM_CHECK_INVARIANTS
     verify::InvariantChecker checker;
@@ -169,7 +182,8 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
         if (check_invariants) {
             telemetry::PhaseTimer audit_timer(profiler,
                                               telemetry::Phase::kAudit);
-            if (checker.audit(machine, policy, pebs_suppressed) == 0)
+            if (checker.audit(machine, policy, pebs_suppressed,
+                              sharded.get()) == 0)
                 warn("run_simulation: invariant audit examined no state");
             result.invariant_audits = checker.audits();
         }
@@ -193,11 +207,18 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
             // One fused dispatch loop per batch; semantically identical
             // to per-access access() + observe() calls (the scalar
             // sequence lives on as the oracle in tests/test_diff_model).
-            if (faults == nullptr)
+            if (sharded != nullptr) {
+                if (faults == nullptr)
+                    sharded->process(batch.data(), n, sampler);
+                else
+                    sharded->process_faulted(batch.data(), n, sampler,
+                                             pebs_suppressed);
+            } else if (faults == nullptr) {
                 machine.access_batch(batch.data(), n, sampler);
-            else
+            } else {
                 machine.access_batch_faulted(batch.data(), n, sampler,
                                              pebs_suppressed);
+            }
         }
         result.accesses += n;
         // Periodic threads sleep relative to when they finish their

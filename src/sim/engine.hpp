@@ -38,6 +38,24 @@ struct EngineConfig {
                                      .buffer_capacity = 1 << 14};
     /** Accesses pulled from the generator per engine iteration. */
     std::size_t batch_size = 512;
+    /**
+     * Shard the access hot path (memsim/sharded_access.hpp): split page
+     * ownership into fixed slices, classify each batch's accesses on N
+     * threads, then merge serially in deterministic epoch order. 0 (the
+     * default) runs the legacy unsharded batch loop; 1 runs the sharded
+     * pipeline on the calling thread only (the determinism baseline);
+     * N in [2, 64] adds N-1 workers. Results, telemetry, and goldens
+     * are byte-identical across every value — scripts/ci.sh diffs
+     * --shards 1 vs --shards 4 runs byte-for-byte, like --jobs.
+     */
+    unsigned shards = 0;
+    /**
+     * Base seed for per-shard audit streams. 0 means "derive from the
+     * run seed": run_experiment() fills it with RunSpec::seed. Streams
+     * are namespaced under SeedDomain::kShard, so they can never
+     * collide with sweep-job seeds (util/rng.hpp).
+     */
+    std::uint64_t shard_seed = 0;
     /** Record a per-interval timeline (Figures 12 and 17). */
     bool record_timeline = false;
     /**

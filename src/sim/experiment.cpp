@@ -87,7 +87,10 @@ run_experiment(const RunSpec& spec, policies::Policy& policy)
     auto machine_config =
         make_machine_config(gen->footprint(), spec.ratio, page_size);
     memsim::TieredMachine machine(machine_config);
-    return run_simulation(*gen, policy, machine, spec.engine);
+    sim::EngineConfig engine = spec.engine;
+    if (engine.shards > 0 && engine.shard_seed == 0)
+        engine.shard_seed = spec.seed;
+    return run_simulation(*gen, policy, machine, engine);
 }
 
 }  // namespace artmem::sim

@@ -86,7 +86,7 @@ void
 SweepSpec::derive_seeds(std::uint64_t base_seed)
 {
     for (std::size_t i = 0; i < jobs.size(); ++i)
-        jobs[i].spec.seed = derive_seed(base_seed, i);
+        jobs[i].spec.seed = derive_seed(base_seed, SeedDomain::kJob, i);
 }
 
 sim::RunResult

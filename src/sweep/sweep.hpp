@@ -109,11 +109,14 @@ struct SweepSpec {
                           const sim::RunSpec& prototype);
 
     /**
-     * Reseed every job with derive_seed(base_seed, index): independent
-     * per-job streams that depend only on the job's position in the
-     * spec. Off by default — the paper convention runs every cell at
-     * one shared seed — and therefore opt-in (artmem sweep
-     * --derive-seeds).
+     * Reseed every job with derive_seed(base_seed, SeedDomain::kJob,
+     * index): independent per-job streams that depend only on the
+     * job's position in the spec. The kJob domain is the legacy
+     * two-argument stream, so existing goldens are unchanged; in-run
+     * shard lanes derive from the disjoint kShard domain, so job i and
+     * shard i of any job can never share a stream (util/rng.hpp). Off
+     * by default — the paper convention runs every cell at one shared
+     * seed — and therefore opt-in (artmem sweep --derive-seeds).
      */
     void derive_seeds(std::uint64_t base_seed);
 };

@@ -31,6 +31,8 @@ invariant_name(Invariant invariant)
         return "qtable_value";
     case Invariant::kTxAccounting:
         return "tx_accounting";
+    case Invariant::kShardPartition:
+        return "shard_partition";
     }
     return "unknown";
 }
@@ -363,6 +365,63 @@ InvariantChecker::check_tx_accounting(const memsim::TieredMachine& machine)
 }
 
 std::uint64_t
+InvariantChecker::check_shard_partition(
+    const memsim::TieredMachine& machine,
+    const memsim::ShardedAccessEngine& sharded)
+{
+    using memsim::ShardedAccessEngine;
+    const unsigned shards = sharded.shards();
+    // The owner map must be a partition: every slice owned by exactly
+    // the shard its block-cyclic formula names, and never a shard index
+    // outside [0, shards).
+    for (unsigned sl = 0; sl < ShardedAccessEngine::kNumSlices; ++sl) {
+        const unsigned owner = sharded.slice_owner(sl);
+        if (owner >= shards || owner != sl % shards) {
+            std::ostringstream os;
+            os << "slice " << sl << " owned by shard " << owner
+               << " under " << shards << " shards (expected "
+               << sl % shards << ")";
+            violate(Invariant::kShardPartition, os.str());
+        }
+    }
+    // Cross-shard residency census: bucket every allocated page by its
+    // owner and charge tiers exactly like check_machine() (primary copy
+    // plus any transactional shadow/dual secondary). The per-shard
+    // sums must add back up to the machine's own used counters — a
+    // shard mutating foreign pages (or dropping owned ones) shows up
+    // here as a sum mismatch attributable to a shard.
+    std::size_t census[ShardedAccessEngine::kNumSlices]
+                      [memsim::kTierCount] = {};
+    const std::size_t pages = machine.page_count();
+    for (PageId page = 0; page < pages; ++page) {
+        if (!machine.is_allocated(page))
+            continue;
+        const unsigned owner = sharded.owner_of(page);
+        const Tier primary = machine.tier_of(page);
+        ++census[owner][static_cast<std::size_t>(primary)];
+        if (machine.tx_page_shadow(page) || machine.tx_page_dual(page))
+            ++census[owner][static_cast<std::size_t>(
+                memsim::other_tier(primary))];
+    }
+    for (int t = 0; t < memsim::kTierCount; ++t) {
+        const Tier tier = static_cast<Tier>(t);
+        std::size_t total = 0;
+        for (unsigned s = 0; s < shards; ++s)
+            total += census[s][static_cast<std::size_t>(t)];
+        if (total != machine.used_pages(tier)) {
+            std::ostringstream os;
+            os << "per-shard census of tier " << memsim::tier_name(tier)
+               << " sums to " << total << " across " << shards
+               << " shards but the machine tracks "
+               << machine.used_pages(tier) << " resident pages";
+            violate(Invariant::kShardPartition, os.str());
+        }
+    }
+    return static_cast<std::uint64_t>(ShardedAccessEngine::kNumSlices) +
+           static_cast<std::uint64_t>(pages) + memsim::kTierCount;
+}
+
+std::uint64_t
 InvariantChecker::check_qtable(const rl::QTable& table, double bound,
                                std::string_view label)
 {
@@ -412,13 +471,16 @@ InvariantChecker::check_artmem(const core::ArtMem& artmem,
 std::uint64_t
 InvariantChecker::audit(const memsim::TieredMachine& machine,
                         const policies::Policy& policy,
-                        std::optional<std::uint64_t> expected_suppressed)
+                        std::optional<std::uint64_t> expected_suppressed,
+                        const memsim::ShardedAccessEngine* sharded)
 {
     ++audits_;
     std::uint64_t examined = 0;
     examined += check_machine(machine);
     examined += check_fault_accounting(machine, expected_suppressed);
     examined += check_tx_accounting(machine);
+    if (sharded != nullptr)
+        examined += check_shard_partition(machine, *sharded);
     if (const auto* artmem =
             dynamic_cast<const core::ArtMem*>(&policy)) {
         if (artmem->initialized())

@@ -49,6 +49,7 @@
 
 #include "core/artmem.hpp"
 #include "lru/lru_lists.hpp"
+#include "memsim/sharded_access.hpp"
 #include "memsim/tiered_machine.hpp"
 #include "policies/policy.hpp"
 #include "rl/qtable.hpp"
@@ -66,6 +67,7 @@ enum class Invariant : std::uint8_t {
     kFaultAccounting,     ///< Failure counters vs. injector bookkeeping.
     kQTableValue,         ///< Non-finite or out-of-bound action value.
     kTxAccounting,        ///< Transaction counters vs. draw bookkeeping.
+    kShardPartition,      ///< Shard ownership map / per-shard census drift.
 };
 
 /** Printable invariant name ("residency_count", ...). */
@@ -164,6 +166,22 @@ class InvariantChecker
     check_tx_accounting(const memsim::TieredMachine& machine);
 
     /**
+     * Sharded ownership partition and cross-shard residency census
+     * (memsim/sharded_access.hpp). The slice->shard owner map must be a
+     * partition (every slice owned by exactly one shard below the shard
+     * count), and a per-shard per-tier census of owned pages — charging
+     * transactional shadow/dual secondary copies exactly like
+     * check_machine() — must sum across shards to the machine's
+     * used_pages(). A shard scanning pages it does not own, or losing
+     * pages it does, breaks the sum.
+     * @returns slices examined plus pages censused plus per-tier
+     *          counters reconciled.
+     */
+    [[nodiscard]] static std::uint64_t
+    check_shard_partition(const memsim::TieredMachine& machine,
+                          const memsim::ShardedAccessEngine& sharded);
+
+    /**
      * Q-table sanity: every entry finite and |Q| <= @p bound.
      * @p label names the table in the violation dump.
      * @returns Q-entries examined (states x actions).
@@ -188,13 +206,16 @@ class InvariantChecker
 
     /**
      * Full per-interval audit: machine residency + fault accounting
-     * always, ArtMem internals when @p policy is an ArtMem instance.
+     * always, ArtMem internals when @p policy is an ArtMem instance,
+     * shard partition + census when @p sharded is non-null (the engine
+     * passes its sharded front end on --shards runs).
      * @returns the summed item counts of every check performed.
      */
     [[nodiscard]] std::uint64_t
     audit(const memsim::TieredMachine& machine,
           const policies::Policy& policy,
-          std::optional<std::uint64_t> expected_suppressed = std::nullopt);
+          std::optional<std::uint64_t> expected_suppressed = std::nullopt,
+          const memsim::ShardedAccessEngine* sharded = nullptr);
 
     /** Audits performed so far. */
     std::uint64_t audits() const { return audits_; }

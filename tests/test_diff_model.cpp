@@ -42,6 +42,7 @@
 #include "lru/lru_lists.hpp"
 #include "memsim/fault_injector.hpp"
 #include "memsim/pebs.hpp"
+#include "memsim/sharded_access.hpp"
 #include "memsim/tiered_machine.hpp"
 #include "stats/ema_bins.hpp"
 #include "util/rng.hpp"
@@ -55,6 +56,7 @@ using memsim::FaultInjector;
 using memsim::MachineConfig;
 using memsim::PebsSample;
 using memsim::PebsSampler;
+using memsim::ShardedAccessEngine;
 using memsim::Tier;
 using memsim::TieredMachine;
 
@@ -165,25 +167,32 @@ struct TrapEvent {
 };
 
 /**
- * Drives the scalar oracle and the batched machine in lockstep over one
- * fault scenario, interleaving migrations, exchanges, trap arming, and
- * accessed-bit scans between intervals, and comparing complete state at
- * every interval boundary.
+ * Drives the scalar oracle, the batched machine, AND a third machine
+ * fed through the sharded epoch pipeline (3 shards, audit on) in
+ * lockstep over one fault scenario, interleaving migrations, exchanges,
+ * trap arming, and accessed-bit scans between intervals, and comparing
+ * complete state at every interval boundary.
  */
 void
 run_lockstep_scenario(std::string_view scenario, std::uint64_t seed)
 {
     TieredMachine scalar(small_machine());
     TieredMachine batched(small_machine());
+    TieredMachine sharded(small_machine());
     const FaultConfig faults = memsim::make_fault_scenario(scenario, 7);
     scalar.install_faults(faults);
     batched.install_faults(faults);
+    sharded.install_faults(faults);
+    ShardedAccessEngine shard_engine(
+        sharded, {.shards = 3, .seed = seed, .audit = true});
 
     // Re-entrant handler, as AutoNUMA-style policies install: promote
     // the faulting page on the spot. Inside access_batch() this forces
-    // the local clock/counter flush-and-reload protocol.
+    // the local clock/counter flush-and-reload protocol (and flips the
+    // sharded walk into its legacy tail).
     std::vector<TrapEvent> scalar_traps;
     std::vector<TrapEvent> batched_traps;
+    std::vector<TrapEvent> sharded_traps;
     scalar.set_fault_handler([&](PageId page, Tier tier) {
         scalar_traps.push_back({page, tier, scalar.now()});
         if (tier == Tier::kSlow)
@@ -194,20 +203,28 @@ run_lockstep_scenario(std::string_view scenario, std::uint64_t seed)
         if (tier == Tier::kSlow)
             (void)batched.migrate(page, Tier::kFast);
     });
+    sharded.set_fault_handler([&](PageId page, Tier tier) {
+        sharded_traps.push_back({page, tier, sharded.now()});
+        if (tier == Tier::kSlow)
+            (void)sharded.migrate(page, Tier::kFast);
+    });
 
     // Small buffer so overflow drops are exercised too.
     const PebsSampler::Config sampler_cfg{.period = 7,
                                           .buffer_capacity = 1 << 8};
     PebsSampler scalar_sampler(sampler_cfg);
     PebsSampler batched_sampler(sampler_cfg);
+    PebsSampler sharded_sampler(sampler_cfg);
     std::uint64_t scalar_suppressed = 0;
     std::uint64_t batched_suppressed = 0;
+    std::uint64_t sharded_suppressed = 0;
 
     Rng stream(seed);
     Rng ops(derive_seed(seed, 1));
     std::vector<PageId> batch;
     std::vector<PebsSample> scalar_drained;
     std::vector<PebsSample> batched_drained;
+    std::vector<PebsSample> sharded_drained;
 
     for (int interval = 0; interval < 64; ++interval) {
         SCOPED_TRACE(testing::Message()
@@ -230,12 +247,16 @@ run_lockstep_scenario(std::string_view scenario, std::uint64_t seed)
                 batched.access_batch_faulted(batch.data(), n,
                                              batched_sampler,
                                              batched_suppressed);
+                shard_engine.process_faulted(batch.data(), n,
+                                             sharded_sampler,
+                                             sharded_suppressed);
             } else {
                 batched.access_batch(batch.data(), n, batched_sampler);
+                shard_engine.process(batch.data(), n, sharded_sampler);
             }
         }
 
-        // Decision-interval work, applied identically to both machines.
+        // Decision-interval work, applied identically to all machines.
         for (int i = 0; i < 8; ++i) {
             const auto page =
                 static_cast<PageId>(ops.next_below(kPages));
@@ -244,45 +265,65 @@ run_lockstep_scenario(std::string_view scenario, std::uint64_t seed)
             const Tier dst = scalar.tier_of(page) == Tier::kFast
                                  ? Tier::kSlow
                                  : Tier::kFast;
-            EXPECT_EQ(scalar.migrate(page, dst).status,
-                      batched.migrate(page, dst).status);
+            const auto status = scalar.migrate(page, dst).status;
+            EXPECT_EQ(status, batched.migrate(page, dst).status);
+            EXPECT_EQ(status, sharded.migrate(page, dst).status);
         }
         const auto a = static_cast<PageId>(ops.next_below(kPages));
         const auto b = static_cast<PageId>(ops.next_below(kPages));
         if (scalar.is_allocated(a) && scalar.is_allocated(b)) {
             EXPECT_EQ(scalar.exchange(a, b).status,
                       batched.exchange(a, b).status);
+            (void)sharded.exchange(a, b);
         }
         for (int i = 0; i < 16; ++i) {
             const auto page =
                 static_cast<PageId>(ops.next_below(kPages));
             scalar.set_trap(page);
             batched.set_trap(page);
+            sharded.set_trap(page);
         }
         for (int i = 0; i < 16; ++i) {
             const auto page =
                 static_cast<PageId>(ops.next_below(kPages));
             EXPECT_EQ(scalar.test_and_clear_accessed(page),
                       batched.test_and_clear_accessed(page));
+            (void)sharded.test_and_clear_accessed(page);
         }
 
         // Full-state comparison at the interval boundary.
         scalar_drained.clear();
         batched_drained.clear();
+        sharded_drained.clear();
         scalar_sampler.drain(scalar_drained, 1 << 12);
         batched_sampler.drain(batched_drained, 1 << 12);
+        sharded_sampler.drain(sharded_drained, 1 << 12);
         expect_samples_equal(scalar_drained, batched_drained);
+        expect_samples_equal(scalar_drained, sharded_drained);
         EXPECT_EQ(scalar_sampler.recorded(), batched_sampler.recorded());
         EXPECT_EQ(scalar_sampler.dropped(), batched_sampler.dropped());
+        EXPECT_EQ(scalar_sampler.recorded(), sharded_sampler.recorded());
+        EXPECT_EQ(scalar_sampler.dropped(), sharded_sampler.dropped());
         EXPECT_EQ(scalar_suppressed, batched_suppressed);
+        EXPECT_EQ(scalar_suppressed, sharded_suppressed);
         ASSERT_EQ(scalar_traps, batched_traps);
+        ASSERT_EQ(scalar_traps, sharded_traps);
         expect_machines_equal(scalar, batched);
-        if (interval % 4 == 3)
-            expect_counters_equal(scalar.take_window(),
-                                  batched.take_window());
+        expect_machines_equal(scalar, sharded);
+        if (interval % 4 == 3) {
+            const auto window = scalar.take_window();
+            expect_counters_equal(window, batched.take_window());
+            expect_counters_equal(window, sharded.take_window());
+        }
         if (testing::Test::HasFailure())
             return;  // one divergence floods everything downstream
     }
+    // The randomized phase-1 self-checks must actually have sampled
+    // (audit is on and the run covers tens of thousands of accesses).
+    EXPECT_GT(shard_engine.audited_accesses(), 0u);
+    // Trap storms under a re-entrant handler must have exercised the
+    // legacy-tail fallback at least once.
+    EXPECT_GT(shard_engine.legacy_tails(), 0u);
 }
 
 TEST(DiffModel, BatchMatchesScalarOracleAcrossFaultScenarios)

@@ -6,8 +6,11 @@
  * and were inlined for the hot-path overhaul, so they get randomized
  * operation sequences checked against trivially correct standard-
  * library models: four std::lists (+ a referenced-bit map) for
- * LruLists, a bounded std::deque for RingBuffer. Each trial prints its
- * seed via SCOPED_TRACE so any failure is replayable by pinning
+ * LruLists, a bounded std::deque for RingBuffer. The sharded access
+ * pipeline (DESIGN.md §12) gets the same treatment: random batches,
+ * trap storms, and transactional abort storms against the batched
+ * machine as the model, fuzzed over shard counts. Each trial prints
+ * its seed via SCOPED_TRACE so any failure is replayable by pinning
  * kBaseSeed to the reported value.
  */
 #include <gtest/gtest.h>
@@ -18,8 +21,13 @@
 #include <vector>
 
 #include "lru/lru_lists.hpp"
+#include "memsim/fault_injector.hpp"
+#include "memsim/pebs.hpp"
 #include "memsim/ring_buffer.hpp"
+#include "memsim/sharded_access.hpp"
+#include "memsim/tiered_machine.hpp"
 #include "util/rng.hpp"
+#include "verify/invariant_checker.hpp"
 
 namespace artmem {
 namespace {
@@ -296,6 +304,160 @@ TEST(Property, RingBufferMatchesDequeModel)
             }
             ASSERT_EQ(ring.size(), model.size());
             ASSERT_EQ(ring.dropped(), model_dropped);
+            if (testing::Test::HasFailure())
+                return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded access pipeline vs the batched machine, fuzzed over shard
+// counts (DESIGN.md §12).
+// ---------------------------------------------------------------------
+
+TEST(Property, ShardedPipelineMatchesBatchedMachineAcrossShardCounts)
+{
+    // Each trial: one batched reference machine and one machine fed
+    // through ShardedAccessEngine with a randomly drawn shard count,
+    // random batch shapes, random trap arming (with a re-entrant
+    // promoting handler, forcing legacy tails), and — on half the
+    // trials — the transactional engine under an abort-storm fault
+    // scenario. Full observable state must match after every batch.
+    constexpr std::size_t kPages = 768;
+    memsim::MachineConfig cfg;
+    cfg.page_size = 2ull << 20;
+    cfg.address_space = kPages * cfg.page_size;
+    cfg.tiers[0].capacity = 192 * cfg.page_size;
+    cfg.tiers[1].capacity = kPages * cfg.page_size;
+
+    const unsigned shard_counts[] = {1, 2, 3, 8};
+    for (int trial = 0; trial < 12; ++trial) {
+        const std::uint64_t seed = derive_seed(kBaseSeed, 7000 + trial);
+        SCOPED_TRACE(testing::Message()
+                     << "trial=" << trial << " seed=" << seed);
+        Rng rng(seed);
+        const unsigned shards =
+            shard_counts[rng.next_below(std::size(shard_counts))];
+        const bool storm = rng.next_bool(0.5);
+        SCOPED_TRACE(testing::Message()
+                     << "shards=" << shards << " storm=" << storm);
+
+        memsim::TieredMachine reference(cfg);
+        memsim::TieredMachine machine(cfg);
+        if (storm) {
+            const auto faults =
+                memsim::make_fault_scenario("abort_storm", seed);
+            reference.install_faults(faults);
+            machine.install_faults(faults);
+            memsim::TxConfig tx;
+            tx.enabled = true;
+            reference.install_tx(tx);
+            machine.install_tx(tx);
+        }
+        reference.set_fault_handler([&](PageId page, memsim::Tier tier) {
+            if (tier == memsim::Tier::kSlow)
+                (void)reference.migrate(page, memsim::Tier::kFast);
+        });
+        machine.set_fault_handler([&](PageId page, memsim::Tier tier) {
+            if (tier == memsim::Tier::kSlow)
+                (void)machine.migrate(page, memsim::Tier::kFast);
+        });
+        memsim::ShardedAccessEngine engine(
+            machine, {.shards = shards, .seed = seed, .audit = true});
+
+        const memsim::PebsSampler::Config sampler_cfg{
+            .period = 5, .buffer_capacity = 1 << 8};
+        memsim::PebsSampler ref_sampler(sampler_cfg);
+        memsim::PebsSampler sh_sampler(sampler_cfg);
+        std::uint64_t ref_suppressed = 0;
+        std::uint64_t sh_suppressed = 0;
+
+        std::vector<PageId> batch;
+        std::vector<memsim::PebsSample> ref_drained;
+        std::vector<memsim::PebsSample> sh_drained;
+        for (int round = 0; round < 48; ++round) {
+            SCOPED_TRACE(testing::Message() << "round=" << round);
+            const std::size_t n = 1 + rng.next_below(513);
+            batch.clear();
+            for (std::size_t i = 0; i < n; ++i) {
+                const bool hot = rng.next_bool(0.6);
+                batch.push_back(static_cast<PageId>(
+                    hot ? rng.next_below(96) : rng.next_below(kPages)));
+            }
+            if (reference.faults_enabled()) {
+                reference.access_batch_faulted(batch.data(), n,
+                                               ref_sampler,
+                                               ref_suppressed);
+                engine.process_faulted(batch.data(), n, sh_sampler,
+                                       sh_suppressed);
+            } else {
+                reference.access_batch(batch.data(), n, ref_sampler);
+                engine.process(batch.data(), n, sh_sampler);
+            }
+
+            // Inter-batch churn: migrations, trap storms, tx polls.
+            for (int i = 0; i < 6; ++i) {
+                const auto page =
+                    static_cast<PageId>(rng.next_below(kPages));
+                if (!reference.is_allocated(page))
+                    continue;
+                const auto dst =
+                    reference.tier_of(page) == memsim::Tier::kFast
+                        ? memsim::Tier::kSlow
+                        : memsim::Tier::kFast;
+                ASSERT_EQ(reference.migrate(page, dst).status,
+                          machine.migrate(page, dst).status);
+            }
+            for (int i = 0; i < 12; ++i) {
+                const auto page =
+                    static_cast<PageId>(rng.next_below(kPages));
+                reference.set_trap(page);
+                machine.set_trap(page);
+            }
+            if (storm && round % 4 == 3) {
+                ASSERT_EQ(reference.poll_tx(), machine.poll_tx());
+            }
+
+            ASSERT_EQ(reference.now(), machine.now());
+            ASSERT_EQ(ref_suppressed, sh_suppressed);
+            ASSERT_EQ(ref_sampler.recorded(), sh_sampler.recorded());
+            ASSERT_EQ(ref_sampler.dropped(), sh_sampler.dropped());
+            const auto& rt = reference.totals();
+            const auto& mt = machine.totals();
+            ASSERT_EQ(rt.accesses[0], mt.accesses[0]);
+            ASSERT_EQ(rt.accesses[1], mt.accesses[1]);
+            ASSERT_EQ(rt.hint_faults, mt.hint_faults);
+            ASSERT_EQ(rt.tx_opened, mt.tx_opened);
+            ASSERT_EQ(rt.tx_committed, mt.tx_committed);
+            ASSERT_EQ(rt.tx_aborted, mt.tx_aborted);
+            ASSERT_EQ(rt.tx_dual_drops, mt.tx_dual_drops);
+            for (PageId p = 0; p < kPages; ++p) {
+                ASSERT_EQ(reference.is_allocated(p),
+                          machine.is_allocated(p))
+                    << "page " << p;
+                ASSERT_EQ(reference.accessed(p), machine.accessed(p))
+                    << "page " << p;
+                ASSERT_EQ(reference.has_trap(p), machine.has_trap(p))
+                    << "page " << p;
+                if (reference.is_allocated(p)) {
+                    ASSERT_EQ(reference.tier_of(p), machine.tier_of(p))
+                        << "page " << p;
+                }
+            }
+            ref_drained.clear();
+            sh_drained.clear();
+            ref_sampler.drain(ref_drained, 1 << 12);
+            sh_sampler.drain(sh_drained, 1 << 12);
+            ASSERT_EQ(ref_drained.size(), sh_drained.size());
+            for (std::size_t i = 0; i < ref_drained.size(); ++i) {
+                ASSERT_EQ(ref_drained[i].page, sh_drained[i].page);
+                ASSERT_EQ(ref_drained[i].tier, sh_drained[i].tier);
+            }
+            // The cross-shard partition/census invariant must hold at
+            // every boundary, tx shadow/dual charges included.
+            ASSERT_GT(verify::InvariantChecker::check_shard_partition(
+                          machine, engine),
+                      0u);
             if (testing::Test::HasFailure())
                 return;
         }

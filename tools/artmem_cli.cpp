@@ -66,6 +66,10 @@ parse_spec(const CliArgs& args)
     spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
     spec.engine.check_invariants =
         args.get_bool("check-invariants", false);
+    // Sharded access pipeline; 0 = legacy loop, N = N-shard epoch
+    // pipeline. Byte-identical output for every value (DESIGN.md §12).
+    spec.engine.shards =
+        static_cast<unsigned>(args.get_int("shards", 0));
 
     // Fault model: a built-in scenario or a fault.* config file.
     const std::string scenario = args.get_string("fault-scenario", "");
@@ -363,6 +367,9 @@ cmd_trace_run(const CliArgs& args)
     auto policy = sim::make_policy(spec.policy, spec.seed);
     sim::EngineConfig engine;
     engine.tx = spec.engine.tx;
+    engine.shards = spec.engine.shards;
+    if (engine.shards > 0)
+        engine.shard_seed = spec.seed;
     const auto r = sim::run_simulation(replay, *policy, machine, engine);
     spec.workload = "trace:" + path;
     print_result(r, spec);
@@ -384,6 +391,8 @@ main(int argc, char** argv)
                "--json\n"
                "       --jobs=N --derive-seeds (sweep: parallel workers / "
                "per-job seed streams)\n"
+               "       --shards=N (shard the access hot path across N "
+               "threads; byte-identical for every N, like --jobs)\n"
                "       --fault-scenario=<none|migration|degrade|blackout|"
                "pressure|abort_storm> --fault-config=<file> --fault-seed=N\n"
                "       --tx-migration (transactional copy-then-commit "
