@@ -288,6 +288,40 @@ BENCHMARK_CAPTURE(BM_SimThroughputSharded, shards1, 1u)
 BENCHMARK_CAPTURE(BM_SimThroughputSharded, shards4, 4u)
     ->Unit(benchmark::kMillisecond);
 
+void
+BM_SimThroughputTenants(benchmark::State& state, std::uint32_t tenants)
+{
+    // Multi-tenant serving (DESIGN.md §13): tenants=1 measures the
+    // off-state contract — the run takes the plain single-tenant path
+    // and every tenancy hook is a never-taken null-pointer branch, so
+    // it is gated at the same floor as the plain ycsb run. tenants=16
+    // is the same aggregate access budget interleaved across 16
+    // kTenant-seeded ycsb streams with quotas and static admission: the
+    // attribution + ledger cost of a real multi-tenant run.
+    sim::RunSpec spec;
+    spec.workload = "ycsb";
+    spec.policy = "artmem";
+    spec.ratio = {1, 4};
+    spec.accesses = 2000000;
+    spec.seed = 42;
+    if (tenants > 1) {
+        spec.tenancy.tenants = tenants;
+        spec.tenancy.quota_share = 0.25;
+        spec.tenancy.admission = "static";
+        spec.tenancy.admission_rate = 8;
+    }
+    for (auto _ : state) {
+        const auto r = sim::run_experiment(spec);
+        benchmark::DoNotOptimize(r.fast_ratio);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(spec.accesses));
+}
+BENCHMARK_CAPTURE(BM_SimThroughputTenants, tenants1, 1u)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimThroughputTenants, tenants16, 16u)
+    ->Unit(benchmark::kMillisecond);
+
 /** Prints the Section 6.4 summary around the google-benchmark run. */
 class OverheadReporter : public benchmark::ConsoleReporter
 {

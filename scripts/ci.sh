@@ -28,13 +28,20 @@
 #      a plain run diffed against an explicit --tx-migration=false run
 #      (the disabled engine must be a strict no-op through the whole
 #      CLI path),
-#   9. perf-regression smoke: scripts/check_perf.sh runs the end-to-end
+#   9. multi-tenant smoke: an explicit --tenants=1 run diffed
+#      byte-for-byte against a plain run (the disabled tenancy layer
+#      must be a strict no-op through the whole CLI path), plus a
+#      traced --tenant-config=configs/tenancy_smoke.cfg run (8
+#      heterogeneous tenants, contending quotas, feedback admission,
+#      --check-invariants) executed twice with stdout, metrics and both
+#      trace files compared (DESIGN.md §13),
+#  10. perf-regression smoke: scripts/check_perf.sh runs the end-to-end
 #      hot-path throughput benchmarks (bench_overheads --quick) and
 #      compares accesses/sec against BENCH_hotpath.json with a 30%
 #      tolerance,
-#  10. (optional, slow) sanitizers: pass --sanitizers to append
+#  11. (optional, slow) sanitizers: pass --sanitizers to append
 #      scripts/check_sanitizers.sh,
-#  11. (optional, slow) coverage: pass --coverage to append
+#  12. (optional, slow) coverage: pass --coverage to append
 #      scripts/check_coverage.sh (instrumented build + line-coverage
 #      floor on src/memsim and src/lru).
 #
@@ -56,16 +63,16 @@ for arg in "$@"; do
     esac
 done
 
-echo "==> [1/9] default build + tests"
+echo "==> [1/10] default build + tests"
 cmake -B build -S . > /dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
-echo "==> [2/9] strict build (ARTMEM_STRICT=ON)"
+echo "==> [2/10] strict build (ARTMEM_STRICT=ON)"
 cmake -B build-strict -S . -DARTMEM_STRICT=ON > /dev/null
 cmake --build build-strict -j "${jobs}"
 
-echo "==> [3/9] lint"
+echo "==> [3/10] lint"
 # In CI (GitHub Actions sets CI=true) a missing clang-tidy is a
 # failure, not a silent skip; locally the detlint half alone passes.
 if [[ -n "${CI:-}" ]]; then
@@ -74,7 +81,7 @@ else
     scripts/check_lint.sh build
 fi
 
-echo "==> [4/9] invariant-checked fault sweep"
+echo "==> [4/10] invariant-checked fault sweep"
 for scenario in none migration degrade blackout pressure; do
     echo "--- scenario ${scenario}"
     ./build/tools/artmem run --workload=s2 --policy=artmem --ratio=1:4 \
@@ -82,7 +89,7 @@ for scenario in none migration degrade blackout pressure; do
         --check-invariants
 done
 
-echo "==> [5/9] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
+echo "==> [5/10] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
 ./build/bench/bench_fig7_main --csv --accesses=200000 --jobs=1 \
     > build/fig7_jobs1.csv
 ./build/bench/bench_fig7_main --csv --accesses=200000 --jobs=4 \
@@ -90,7 +97,7 @@ echo "==> [5/9] sweep determinism (--jobs 1 vs --jobs 4, byte-for-byte)"
 cmp build/fig7_jobs1.csv build/fig7_jobs4.csv
 echo "sweep output identical across --jobs 1 and --jobs 4"
 
-echo "==> [6/9] shard determinism (--shards 1 vs --shards 4, byte-for-byte)"
+echo "==> [6/10] shard determinism (--shards 1 vs --shards 4, byte-for-byte)"
 # The sharded access pipeline (DESIGN.md §12) carries the same contract
 # as the parallel sweep runner: every shard count must reproduce the
 # legacy loop byte-for-byte. Diff the whole fig7 sweep across shard
@@ -117,7 +124,7 @@ cmp build/shards_a.jsonl build/shards_b.jsonl
 cmp build/shards_a.json build/shards_b.json
 echo "output identical across --shards 1 and --shards 4"
 
-echo "==> [7/9] telemetry smoke (traced run, JSON validity, byte-identity)"
+echo "==> [7/10] telemetry smoke (traced run, JSON validity, byte-identity)"
 ./build/examples/masim_runner configs/telemetry_smoke.cfg \
     --policy=artmem --ratio=1:4 \
     --metrics-out=build/telemetry_a.metrics.json \
@@ -133,7 +140,7 @@ cmp build/telemetry_a.jsonl build/telemetry_b.jsonl
 cmp build/telemetry_a.json build/telemetry_b.json
 echo "telemetry outputs valid JSON and byte-identical across reruns"
 
-echo "==> [8/9] transactional-migration smoke (abort storm, byte-identity)"
+echo "==> [8/10] transactional-migration smoke (abort storm, byte-identity)"
 tx_run=(./build/tools/artmem run --workload=ycsb --policy=artmem
     --ratio=1:4 --accesses=800000 --check-invariants)
 "${tx_run[@]}" --tx-migration --tx-write-ratio=0.05 \
@@ -148,7 +155,34 @@ cmp build/tx_a.json build/tx_b.json
 cmp build/tx_off_a.out build/tx_off_b.out
 echo "abort-storm reruns byte-identical; disabled engine is a no-op"
 
-echo "==> [9/9] perf-regression smoke (hot-path throughput)"
+echo "==> [9/10] multi-tenant smoke (no-op diff, traced run, byte-identity)"
+# --tenants=1 must be a strict no-op through the whole CLI path: the
+# single-tenant run takes the plain engine loop and every tenancy hook
+# is a never-taken null branch (DESIGN.md §13).
+mt_base=(./build/tools/artmem run --workload=s2 --policy=artmem
+    --ratio=1:4 --accesses=800000 --check-invariants)
+"${mt_base[@]}" > build/mt_off_a.out
+"${mt_base[@]}" --tenants=1 > build/mt_off_b.out
+cmp build/mt_off_a.out build/mt_off_b.out
+# Traced smoke on configs/tenancy_smoke.cfg (8 heterogeneous tenants,
+# contending quotas, feedback admission): metrics must be valid JSON
+# and a second identical seeded run must reproduce stdout, metrics and
+# both trace files byte-for-byte.
+mt_run=(./build/tools/artmem run --workload=s2 --policy=artmem
+    --ratio=1:4 --accesses=800000 --check-invariants
+    --tenant-config=configs/tenancy_smoke.cfg)
+"${mt_run[@]}" --metrics-out=build/mt_a.metrics.json \
+    --trace-out=build/mt_a > build/mt_a.out
+"${mt_run[@]}" --metrics-out=build/mt_b.metrics.json \
+    --trace-out=build/mt_b > build/mt_b.out
+python3 -m json.tool build/mt_a.metrics.json > /dev/null
+cmp build/mt_a.out build/mt_b.out
+cmp build/mt_a.metrics.json build/mt_b.metrics.json
+cmp build/mt_a.jsonl build/mt_b.jsonl
+cmp build/mt_a.json build/mt_b.json
+echo "--tenants=1 is a no-op; tenancy smoke byte-identical across reruns"
+
+echo "==> [10/10] perf-regression smoke (hot-path throughput)"
 scripts/check_perf.sh build
 
 if [[ "${run_sanitizers}" -eq 1 ]]; then

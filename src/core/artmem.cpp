@@ -266,6 +266,18 @@ ArtMem::note_migration_failure(PageId page, memsim::MigrationResult result)
         retry_after_[page] = periods_ + 256;
         return;
     }
+    if (result.denied()) {
+        // Tenancy refusal (quota exhausted or admission denied): the
+        // obstacle is standing resource policy, not device luck, so
+        // back off harder than for a transient — the quota only opens
+        // when the tenant's own pages demote, and admission budgets
+        // refill once per decision interval.
+        const std::uint8_t streak = static_cast<std::uint8_t>(
+            std::min<int>(fail_streak_[page] + 2, 8));
+        fail_streak_[page] = streak;
+        retry_after_[page] = periods_ + (1ull << streak);
+        return;
+    }
     if (result.status == memsim::MigrateStatus::kTxAbort) {
         // A concurrent write aborted the in-flight copy: the page is
         // write-hot *right now*, which is different from being pinned
@@ -407,10 +419,12 @@ ArtMem::perform_migration(Bytes budget)
                 // on_tx_resolved() re-homes the page at commit or backs
                 // it off at abort. Off-list until then.
                 ++promoted;
-            } else if (result.faulted()) {
+            } else if (result.faulted() || result.denied()) {
                 // Skip-and-requeue: the page stays a candidate for later
                 // periods (after its backoff), and the budget it did not
-                // consume can fund a replacement below.
+                // consume can fund a replacement below. Tenancy denials
+                // take the same path with a harder backoff — another
+                // tenant's candidate can still use the refill round.
                 lists_->insert_head(page, lru::ListId::kSlowActive);
                 note_migration_failure(page, result);
                 ++faulted;

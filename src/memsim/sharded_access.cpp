@@ -164,6 +164,8 @@ ShardedAccessEngine::process_impl(const PageId* pages, std::size_t n,
         else
             ctx.now += lat[t];
         ++ctx.acc[t];
+        if (machine_.tenants_ != nullptr) [[unlikely]]
+            machine_.tenants_->note_access(page, t);
         if constexpr (kFaulted) {
             if (machine_.faults_->sample_suppressed(ctx.now)) [[unlikely]]
                 ++*pebs_suppressed;

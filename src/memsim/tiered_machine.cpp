@@ -39,6 +39,10 @@ migrate_status_name(MigrateStatus status)
         return "tx_busy";
     case MigrateStatus::kTxAbort:
         return "tx_abort";
+    case MigrateStatus::kQuotaDenied:
+        return "quota_denied";
+    case MigrateStatus::kAdmissionDenied:
+        return "admission_denied";
     }
     return "unknown";
 }
@@ -76,13 +80,20 @@ TieredMachine::allocate(PageId page)
 {
     // First-touch, fast tier first (the paper: "ArtMem first places pages
     // in fast memory before overflowing to the slower tier"). Co-tenant
-    // pressure steers first-touch to the slow tier, but if the slow tier
-    // is also full the reservation yields: the co-tenant's hold is soft
-    // and must never make allocation fail.
+    // pressure and an exhausted per-tenant quota both steer first-touch
+    // to the slow tier, but if the slow tier is also full the hold
+    // yields: reservations and quotas are soft at placement time and
+    // must never make allocation fail.
     Tier tier = free_pages(Tier::kFast) > 0 ? Tier::kFast : Tier::kSlow;
+    if (tier == Tier::kFast && tenants_ != nullptr &&
+        tenants_->fast_quota_exhausted(page)) [[unlikely]]
+        tier = Tier::kSlow;
     if (tier == Tier::kSlow && used_[1] >= capacity_[1] &&
-        (tx_ == nullptr || !tx_reclaim_slot(Tier::kSlow)))
+        (tx_ == nullptr || !tx_reclaim_slot(Tier::kSlow))) {
         tier = Tier::kFast;
+        if (tenants_ != nullptr && tenants_->fast_quota_exhausted(page))
+            tenants_->note_over_quota_alloc(page);
+    }
     const int ti = static_cast<int>(tier);
     // In transactional mode a "full" tier may hold reclaimable dual
     // copies; evict one rather than failing the allocation.
@@ -91,6 +102,8 @@ TieredMachine::allocate(PageId page)
     if (used_[ti] >= capacity_[ti])
         panic("TieredMachine: both tiers full on allocation");
     ++used_[static_cast<int>(tier)];
+    if (tenants_ != nullptr) [[unlikely]]
+        tenants_->charge(page, tier, +1);
     flags_[page] = static_cast<std::uint8_t>(
         kAllocatedBit | (tier == Tier::kSlow ? kTierBit : 0));
 }
@@ -121,6 +134,8 @@ TieredMachine::access(PageId page)
         now_ += latency_[t];
     ++totals_.accesses[t];
     ++window_.accesses[t];
+    if (tenants_ != nullptr) [[unlikely]]
+        tenants_->note_access(page, t);
     if (flags & kTxAccessMask) [[unlikely]]
         now_ += tx_on_access(page, now_);
     if (flags & kTrapBit) [[unlikely]] {
@@ -246,6 +261,14 @@ TieredMachine::record_failure(MigrateStatus status, PageId page)
         ++totals_.failed_contended;
         ++window_.failed_contended;
         break;
+    case MigrateStatus::kQuotaDenied:
+        ++totals_.failed_quota;
+        ++window_.failed_quota;
+        break;
+    case MigrateStatus::kAdmissionDenied:
+        ++totals_.failed_admission;
+        ++window_.failed_admission;
+        break;
     default:
         break;
     }
@@ -274,6 +297,13 @@ TieredMachine::migrate(PageId page, Tier dst)
         return {MigrateStatus::kSameTier};
     if (tx_ != nullptr)
         return tx_migrate(page, src, dst);
+    if (tenants_ != nullptr) [[unlikely]] {
+        // Tenancy gate first: a quota or admission denial is standing
+        // policy, refused before any fault draw is consumed.
+        const MigrateStatus deny = tenant_check_migration(page, dst, true);
+        if (deny != MigrateStatus::kOk)
+            return {deny};
+    }
     if (faults_ != nullptr && faults_->page_pinned(page)) [[unlikely]] {
         record_failure(MigrateStatus::kPagePinned, page);
         return {MigrateStatus::kPagePinned};
@@ -285,7 +315,7 @@ TieredMachine::migrate(PageId page, Tier dst)
     }
     if (faults_ != nullptr) [[unlikely]] {
         // Co-tenant pressure: the free slot exists but is reserved.
-        if (reserved_pages(dst) > 0 && free_pages(dst) == 0) {
+        if (reserved_contended(dst)) {
             record_failure(MigrateStatus::kDstContended, page);
             return {MigrateStatus::kDstContended};
         }
@@ -301,6 +331,11 @@ TieredMachine::migrate(PageId page, Tier dst)
     }
     --used_[static_cast<int>(src)];
     ++used_[d];
+    if (tenants_ != nullptr) [[unlikely]] {
+        tenants_->charge(page, src, -1);
+        tenants_->charge(page, dst, +1);
+        tenants_->note_migration(page, dst);
+    }
     if (dst == Tier::kSlow)
         flags_[page] |= kTierBit;
     else
@@ -330,6 +365,11 @@ TieredMachine::exchange(PageId a, PageId b)
         return {MigrateStatus::kSameTier};
     if (tx_ != nullptr)
         return tx_exchange(a, b, ta, tb);
+    if (tenants_ != nullptr) [[unlikely]] {
+        const MigrateStatus deny = tenant_check_exchange(a, b, ta);
+        if (deny != MigrateStatus::kOk)
+            return {deny};
+    }
     if (faults_ != nullptr) [[unlikely]] {
         if (faults_->page_pinned(a) || faults_->page_pinned(b)) {
             record_failure(MigrateStatus::kPagePinned, a);
@@ -347,6 +387,14 @@ TieredMachine::exchange(PageId a, PageId b)
     }
     flags_[a] ^= kTierBit;
     flags_[b] ^= kTierBit;
+    if (tenants_ != nullptr) [[unlikely]] {
+        tenants_->charge(a, ta, -1);
+        tenants_->charge(a, tb, +1);
+        tenants_->charge(b, tb, -1);
+        tenants_->charge(b, ta, +1);
+        tenants_->note_migration(a, tb);
+        tenants_->note_migration(b, ta);
+    }
     // An exchange is two copies through a bounce buffer; charge both.
     const SimTimeNs start = now_;
     const SimTimeNs busy = migration_cost(ta, tb) + migration_cost(tb, ta);
@@ -409,6 +457,8 @@ TieredMachine::tx_free_flip(PageId page, Tier src, Tier dst)
     tx_->reclaim_queue[s].push_back(page);
     ++totals_.tx_free_flips;
     ++window_.tx_free_flips;
+    if (tenants_ != nullptr) [[unlikely]]
+        tenants_->note_migration(page, dst);  // usage is tier-neutral
     if (dst == Tier::kFast) {
         ++totals_.promoted_pages;
         ++window_.promoted_pages;
@@ -452,6 +502,8 @@ TieredMachine::tx_reclaim_page(PageId page)
     const Tier sec = other_tier(tier_of_unchecked(page));
     flags_[page] &= static_cast<std::uint8_t>(~kDualBit);
     --used_[static_cast<int>(sec)];
+    if (tenants_ != nullptr) [[unlikely]]
+        tenants_->charge(page, sec, -1);
     --tx_->reclaimable[static_cast<int>(sec)];
     ++totals_.tx_dual_reclaims;
     ++window_.tx_dual_reclaims;
@@ -460,6 +512,15 @@ TieredMachine::tx_reclaim_page(PageId page)
 MigrationResult
 TieredMachine::tx_migrate(PageId page, Tier src, Tier dst)
 {
+    if (tenants_ != nullptr) [[unlikely]] {
+        // Gate before the dual-copy fast path so free flips are subject
+        // to admission control too; a flip charges no new slot, so the
+        // quota check applies only to real (shadow-charging) opens.
+        const MigrateStatus deny = tenant_check_migration(
+            page, dst, (flags_[page] & kDualBit) == 0);
+        if (deny != MigrateStatus::kOk)
+            return {deny};
+    }
     if (flags_[page] & kDualBit)
         return tx_free_flip(page, src, dst);
     if (flags_[page] & kInFlightBit)
@@ -479,7 +540,7 @@ TieredMachine::tx_migrate(PageId page, Tier src, Tier dst)
     }
     if (faults_ != nullptr) [[unlikely]] {
         // Co-tenant pressure: the free slot exists but is reserved.
-        if (reserved_pages(dst) > 0 && free_pages(dst) == 0) {
+        if (reserved_contended(dst)) {
             record_failure(MigrateStatus::kDstContended, page);
             return {MigrateStatus::kDstContended};
         }
@@ -497,6 +558,8 @@ TieredMachine::tx_migrate(PageId page, Tier src, Tier dst)
         ++window_.tx_retries;
     }
     ++used_[d];
+    if (tenants_ != nullptr) [[unlikely]]
+        tenants_->charge(page, dst, +1);  // shadow-copy slot
     f |= kInFlightBit;
     // Window length = the copy's device time at *current* bandwidth,
     // so tier-degradation faults stretch it (more write exposure).
@@ -523,6 +586,11 @@ TieredMachine::tx_exchange(PageId a, PageId b, Tier ta, Tier tb)
 {
     if ((flags_[a] | flags_[b]) & kInFlightBit)
         return tx_refuse(MigrateStatus::kTxInFlight, a);
+    if (tenants_ != nullptr) [[unlikely]] {
+        const MigrateStatus deny = tenant_check_exchange(a, b, ta);
+        if (deny != MigrateStatus::kOk)
+            return {deny};
+    }
     if (faults_ != nullptr) [[unlikely]] {
         if (faults_->page_pinned(a) || faults_->page_pinned(b)) {
             record_failure(MigrateStatus::kPagePinned, a);
@@ -608,6 +676,8 @@ TieredMachine::tx_abort_page(PageId page, SimTimeNs now)
             (flags_[entry.page] & ~kInFlightBit) | kTxAbortedBit);
         // Release the shadow slot; the page never left the source.
         --used_[static_cast<int>(entry.dst)];
+        if (tenants_ != nullptr) [[unlikely]]
+            tenants_->charge(entry.page, entry.dst, -1);
     } else {
         for (const PageId p : {entry.page, entry.peer}) {
             flags_[p] = static_cast<std::uint8_t>(
@@ -640,6 +710,8 @@ TieredMachine::tx_drop_secondary(PageId page, SimTimeNs now)
     const Tier sec = other_tier(tier_of_unchecked(page));
     flags_[page] &= static_cast<std::uint8_t>(~kDualBit);
     --used_[static_cast<int>(sec)];
+    if (tenants_ != nullptr) [[unlikely]]
+        tenants_->charge(page, sec, -1);
     --tx_->reclaimable[static_cast<int>(sec)];
     ++totals_.tx_dual_drops;
     ++window_.tx_dual_drops;
@@ -670,7 +742,11 @@ TieredMachine::tx_commit_entry(const TxState::Entry& entry)
             tx_->reclaim_queue[s].push_back(entry.page);
         } else {
             --used_[s];
+            if (tenants_ != nullptr) [[unlikely]]
+                tenants_->charge(entry.page, entry.src, -1);
         }
+        if (tenants_ != nullptr) [[unlikely]]
+            tenants_->note_migration(entry.page, entry.dst);
         if (entry.dst == Tier::kFast) {
             ++totals_.promoted_pages;
             ++window_.promoted_pages;
@@ -685,6 +761,14 @@ TieredMachine::tx_commit_entry(const TxState::Entry& entry)
         flags_[entry.peer] &= kClear;
         flags_[entry.page] ^= kTierBit;
         flags_[entry.peer] ^= kTierBit;
+        if (tenants_ != nullptr) [[unlikely]] {
+            tenants_->charge(entry.page, entry.src, -1);
+            tenants_->charge(entry.page, entry.dst, +1);
+            tenants_->charge(entry.peer, entry.dst, -1);
+            tenants_->charge(entry.peer, entry.src, +1);
+            tenants_->note_migration(entry.page, entry.dst);
+            tenants_->note_migration(entry.peer, entry.src);
+        }
         ++totals_.exchanges;
         ++window_.exchanges;
     }
@@ -751,11 +835,70 @@ TieredMachine::install_faults(const FaultConfig& config)
     config.validate();
     if (!config.any_enabled()) {
         faults_.reset();
+        if (tenants_ != nullptr)
+            tenants_->set_fault_reservation(nullptr);
         return;
     }
     faults_ = std::make_unique<FaultInjector>(config, capacity_[0]);
     if (telemetry_ != nullptr)
         faults_->set_telemetry(telemetry_);
+    if (tenants_ != nullptr)
+        tenants_->set_fault_reservation(faults_.get());
+}
+
+void
+TieredMachine::install_tenants(std::unique_ptr<TenantLedger> ledger)
+{
+    if (ledger == nullptr) {
+        tenants_.reset();
+        return;
+    }
+    if (ledger->page_count() != flags_.size())
+        fatal("install_tenants: ledger covers ", ledger->page_count(),
+              " pages but the machine has ", flags_.size());
+    tenants_ = std::move(ledger);
+    tenants_->set_fault_reservation(faults_.get());
+    // Adopt pages already resident (a prefault that ran before the
+    // install): charge the current primary census to the owners. The
+    // ledger must be installed before any transactional copies exist.
+    for (std::size_t page = 0; page < flags_.size(); ++page) {
+        if (flags_[page] & kAllocatedBit) {
+            tenants_->charge(static_cast<PageId>(page),
+                             tier_of_unchecked(static_cast<PageId>(page)),
+                             +1);
+        }
+    }
+}
+
+MigrateStatus
+TieredMachine::tenant_check_migration(PageId page, Tier dst,
+                                      bool charges_dst)
+{
+    const TenantDecision decision =
+        tenants_->check_migration(page, dst, charges_dst);
+    if (decision == TenantDecision::kAdmit)
+        return MigrateStatus::kOk;
+    const MigrateStatus status = decision == TenantDecision::kQuotaDenied
+                                     ? MigrateStatus::kQuotaDenied
+                                     : MigrateStatus::kAdmissionDenied;
+    record_failure(status, page);
+    return status;
+}
+
+MigrateStatus
+TieredMachine::tenant_check_exchange(PageId a, PageId b, Tier ta)
+{
+    const PageId promoted = ta == Tier::kSlow ? a : b;
+    const PageId demoted = ta == Tier::kSlow ? b : a;
+    const TenantDecision decision =
+        tenants_->check_exchange(promoted, demoted);
+    if (decision == TenantDecision::kAdmit)
+        return MigrateStatus::kOk;
+    const MigrateStatus status = decision == TenantDecision::kQuotaDenied
+                                     ? MigrateStatus::kQuotaDenied
+                                     : MigrateStatus::kAdmissionDenied;
+    record_failure(status, promoted);
+    return status;
 }
 
 void

@@ -28,6 +28,7 @@
 
 #include "memsim/fault_injector.hpp"
 #include "memsim/pebs.hpp"
+#include "memsim/tenant_ledger.hpp"
 #include "memsim/tier.hpp"
 #include "memsim/tx_migration.hpp"
 #include "util/types.hpp"
@@ -46,7 +47,12 @@ namespace artmem::memsim {
  * (the page already has an open transaction / the in-flight table is
  * full), and kTxAbort reports — via the resolution callback and
  * failure-backoff paths, never from migrate() itself — that a
- * concurrent write aborted an in-flight transaction.
+ * concurrent write aborted an in-flight transaction. The two kDenied
+ * values belong to the tenancy layer (memsim/tenant_ledger.hpp):
+ * kQuotaDenied means the tenant's fast-tier quota is exhausted and
+ * kAdmissionDenied means the admission controller refused the grant —
+ * both are policy refusals, not injected faults, and consume no fault
+ * draws.
  */
 enum class MigrateStatus : std::uint8_t {
     kOk = 0,
@@ -60,6 +66,8 @@ enum class MigrateStatus : std::uint8_t {
     kTxInFlight,
     kTxBusy,
     kTxAbort,
+    kQuotaDenied,
+    kAdmissionDenied,
 };
 
 /** Printable status name. */
@@ -93,7 +101,9 @@ struct MigrationResult {
     /**
      * The failure is transient: retrying later (backoff) can succeed.
      * kNoFreeSlot counts as transient — capacity can be reclaimed —
-     * and so do the transactional refusals and write aborts.
+     * and so do the transactional refusals, write aborts, and tenancy
+     * denials (quotas free up as pages demote; admission budgets refill
+     * at the next decision interval).
      */
     bool transient() const
     {
@@ -102,7 +112,22 @@ struct MigrationResult {
                status == MigrateStatus::kDstContended ||
                status == MigrateStatus::kTxInFlight ||
                status == MigrateStatus::kTxBusy ||
-               status == MigrateStatus::kTxAbort;
+               status == MigrateStatus::kTxAbort ||
+               status == MigrateStatus::kQuotaDenied ||
+               status == MigrateStatus::kAdmissionDenied;
+    }
+
+    /**
+     * The tenancy layer refused the request (quota exhausted or
+     * admission denied): no state changed and no fault draw was
+     * consumed. Retrying next interval can succeed, but policies
+     * should back off harder than for device-level transients — the
+     * denial reflects standing resource policy, not bad luck.
+     */
+    bool denied() const
+    {
+        return status == MigrateStatus::kQuotaDenied ||
+               status == MigrateStatus::kAdmissionDenied;
     }
 
     /** The page is permanently pinned; retries are futile. */
@@ -334,13 +359,41 @@ class TieredMachine
     /** Read-only fault model access. */
     const FaultInjector* fault_injector() const { return faults_.get(); }
 
-    /** Fast-tier slots currently held by the injected co-tenant. */
+    /**
+     * Fast-tier slots currently held by the injected co-tenant. One
+     * source of truth: the reservation is always the fault injector's
+     * pure window function, read through the tenant ledger when one is
+     * installed (the ledger owns every "who holds fast slots" query)
+     * and straight from the injector otherwise.
+     */
     std::size_t reserved_pages(Tier t) const
     {
-        return (t == Tier::kFast && faults_ != nullptr)
-                   ? faults_->reserved_fast_pages(now_)
-                   : 0;
+        if (t != Tier::kFast)
+            return 0;
+        if (tenants_ != nullptr) [[unlikely]]
+            return tenants_->reserved_fast(now_);
+        return faults_ != nullptr ? faults_->reserved_fast_pages(now_) : 0;
     }
+
+    // --- multi-tenant serving (DESIGN.md §13) ---------------------------
+
+    /**
+     * Install (or with nullptr remove) the per-tenant ledger. The
+     * ledger's page map must cover this machine's address space
+     * exactly. Uninstalled — the default — is a strict no-op: no
+     * per-access attribution, no quota or admission checks, and
+     * bit-identical behaviour to a build without the tenancy layer.
+     */
+    void install_tenants(std::unique_ptr<TenantLedger> ledger);
+
+    /** True once a tenant ledger is installed. */
+    bool tenants_enabled() const { return tenants_ != nullptr; }
+
+    /** The installed ledger, or nullptr on a single-tenant machine. */
+    TenantLedger* tenants() { return tenants_.get(); }
+
+    /** Read-only ledger access. */
+    const TenantLedger* tenants() const { return tenants_.get(); }
 
     // --- transactional migration engine ---------------------------------
 
@@ -505,6 +558,10 @@ class TieredMachine
         std::uint64_t tx_dual_reclaims = 0;
         /** Requests refused: page already in flight / table full. */
         std::uint64_t failed_tx_busy = 0;
+        /** Migrations refused: tenant fast-tier quota exhausted. */
+        std::uint64_t failed_quota = 0;
+        /** Migrations refused: admission controller denied the grant. */
+        std::uint64_t failed_admission = 0;
 
         /** Total accesses across tiers. */
         std::uint64_t total_accesses() const
@@ -528,7 +585,8 @@ class TieredMachine
         std::uint64_t migration_failures() const
         {
             return failed_no_slot + failed_pinned + failed_transient +
-                   failed_contended + tx_aborted + failed_tx_busy;
+                   failed_contended + tx_aborted + failed_tx_busy +
+                   failed_quota + failed_admission;
         }
     };
 
@@ -613,6 +671,8 @@ class TieredMachine
         else
             ctx.now += lat[t];
         ++ctx.acc[t];
+        if (tenants_ != nullptr) [[unlikely]]
+            tenants_->note_access(page, t);
         if (f & kTxAccessMask) [[unlikely]] {
             // tx_on_access touches only used_/flags_/tx_ state and the
             // tx counters — nothing shadowed in locals — and returns
@@ -678,6 +738,24 @@ class TieredMachine
     void tx_drop_secondary(PageId page, SimTimeNs now);
     void tx_commit_entry(const TxState::Entry& entry);
 
+    /**
+     * Shared "free slot exists but is reserved" test: the one place the
+     * co-tenant hold is compared against capacity (both the atomic and
+     * the transactional migrate paths branch here; DESIGN.md §13).
+     */
+    bool
+    reserved_contended(Tier dst) const
+    {
+        return reserved_pages(dst) > 0 && free_pages(dst) == 0;
+    }
+
+    /** Tenancy gate for migrate()/tx_migrate(); kOk when no ledger. */
+    MigrateStatus tenant_check_migration(PageId page, Tier dst,
+                                         bool charges_dst);
+    /** Tenancy gate for exchange()/tx_exchange(): @p ta is @p a's
+     *  current tier, identifying which page is being promoted. */
+    MigrateStatus tenant_check_exchange(PageId a, PageId b, Tier ta);
+
     MachineConfig config_;
     std::vector<std::uint8_t> flags_;
     std::size_t capacity_[kTierCount];
@@ -692,6 +770,8 @@ class TieredMachine
     /** Null when transactional mode is off (the default). */
     std::unique_ptr<TxState> tx_;
     TxResolveHandler tx_handler_;
+    /** Null on a single-tenant machine (the default). */
+    std::unique_ptr<TenantLedger> tenants_;
     /** Telemetry attachments; all null when telemetry is off. */
     telemetry::Telemetry* telemetry_ = nullptr;
     telemetry::TraceSink* trace_migration_ = nullptr;

@@ -115,11 +115,13 @@ AutoNuma::on_interval(SimTimeNs now)
             const auto result = m.migrate(page, memsim::Tier::kFast);
             if (result.ok() || result.pending())
                 ++promoted;
-            else if (!result.faulted() && !result.busy())
+            else if (!result.faulted() && !result.busy() &&
+                     !result.denied())
                 break;  // fast tier saturated and nothing demotable
-            // Injected faults (pinned page, aborted copy) and busy
-            // transactional refusals only skip this page; the rest of
-            // the queue may still promote fine.
+            // Injected faults (pinned page, aborted copy), busy
+            // transactional refusals, and per-tenant quota/admission
+            // denials only skip this page; the rest of the queue (other
+            // tenants included) may still promote fine.
         }
     }
     promote_queue_.clear();

@@ -122,8 +122,8 @@ Tiering08::on_interval(SimTimeNs now)
         const auto result = m.migrate(page, memsim::Tier::kFast);
         if (result.ok() || result.pending())
             ++promoted;
-        else if (!result.faulted() && !result.busy())
-            break;  // saturated: an injected fault would only skip one page
+        else if (!result.faulted() && !result.busy() && !result.denied())
+            break;  // saturated: a fault or tenant denial skips one page
     }
     for (PageId page : promote_queue_)
         queued_[page] = 0;

@@ -111,8 +111,16 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
         const SimTimeNs tick_start = machine.now();
         drained.clear();
         sampler.drain(drained, static_cast<std::size_t>(-1));
-        if (!drained.empty())
+        if (!drained.empty()) {
+            // Per-tenant PEBS attribution rides the same drain the
+            // policy sees, so a tenant's sample count is exactly its
+            // share of the policy's evidence (DESIGN.md §13).
+            if (auto* ledger = machine.tenants(); ledger != nullptr) {
+                for (const auto& sample : drained)
+                    ledger->note_sample(sample.page);
+            }
             policy.on_samples(drained);
+        }
         policy.on_tick(machine.now());
         if (metrics != nullptr) {
             metrics->add(ctr_ticks);
@@ -143,6 +151,11 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
                                         telemetry::Phase::kDecision);
             policy.on_interval(machine.now());
         }
+        // Feed the closing decision window to the admission controller
+        // and roll the ledger's per-tenant snapshot in the same breath
+        // as the machine window, so both observe identical boundaries.
+        if (auto* ledger = machine.tenants(); ledger != nullptr)
+            ledger->interval_feedback();
         const auto window = machine.take_window();
         // One IntervalRecord per interval, consumed by both the
         // timeline (Figures 12/17) and the kEngine "decision" trace
@@ -247,6 +260,26 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
     result.pebs_dropped = sampler.dropped();
     result.pebs_suppressed = pebs_suppressed;
 
+    if (const auto* ledger = machine.tenants(); ledger != nullptr) {
+        result.tenants.resize(ledger->tenant_count());
+        for (std::uint32_t t = 0; t < ledger->tenant_count(); ++t) {
+            const auto& totals = ledger->totals(t);
+            TenantSummary& summary = result.tenants[t];
+            summary.accesses[0] = totals.accesses[0];
+            summary.accesses[1] = totals.accesses[1];
+            summary.fast_ratio = totals.fast_ratio();
+            summary.samples = totals.samples;
+            summary.promoted = totals.promoted_pages;
+            summary.demoted = totals.demoted_pages;
+            summary.quota_denied = totals.quota_denied;
+            summary.admission_denied = totals.admission_denied;
+            summary.admission_grants = totals.admission_grants;
+            summary.over_quota_allocs = totals.over_quota_allocs;
+            summary.used_fast = ledger->used_pages(t, memsim::Tier::kFast);
+            summary.quota = ledger->quota(t);
+        }
+    }
+
     if (metrics != nullptr) {
         // Mirror the run's aggregate counters into the registry so a
         // metrics file is self-contained (registration order fixes the
@@ -289,6 +322,28 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
         mirror("pebs.recorded", result.pebs_recorded);
         mirror("pebs.dropped", result.pebs_dropped);
         mirror("pebs.suppressed", result.pebs_suppressed);
+        if (machine.tenants_enabled()) {
+            // Tenant counters exist only on multi-tenant runs, so a
+            // --tenants=1 metrics file stays byte-identical to the seed.
+            mirror("machine.failed_quota", result.totals.failed_quota);
+            mirror("machine.failed_admission",
+                   result.totals.failed_admission);
+            for (std::size_t t = 0; t < result.tenants.size(); ++t) {
+                const TenantSummary& summary = result.tenants[t];
+                const std::string prefix =
+                    "tenant." + std::to_string(t) + ".";
+                mirror(prefix + "accesses_fast", summary.accesses[0]);
+                mirror(prefix + "accesses_slow", summary.accesses[1]);
+                mirror(prefix + "samples", summary.samples);
+                mirror(prefix + "promoted", summary.promoted);
+                mirror(prefix + "demoted", summary.demoted);
+                mirror(prefix + "quota_denied", summary.quota_denied);
+                mirror(prefix + "admission_denied",
+                       summary.admission_denied);
+                mirror(prefix + "admission_grants",
+                       summary.admission_grants);
+            }
+        }
     }
     if (telem != nullptr) {
         // Detach before returning: the machine and policy may outlive

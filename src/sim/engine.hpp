@@ -118,6 +118,26 @@ struct IntervalRecord {
     bool sampling_blackout = false;   ///< PEBS blackout at interval end.
 };
 
+/**
+ * One tenant's share of a multi-tenant run (DESIGN.md §13): the
+ * engine's end-of-run snapshot of the machine's TenantLedger, so bench
+ * harnesses and the CLI report per-tenant outcomes without reaching
+ * into the (by then possibly destroyed) machine.
+ */
+struct TenantSummary {
+    std::uint64_t accesses[memsim::kTierCount] = {0, 0};
+    double fast_ratio = 1.0;
+    std::uint64_t samples = 0;            ///< PEBS samples attributed.
+    std::uint64_t promoted = 0;           ///< Includes exchange legs.
+    std::uint64_t demoted = 0;            ///< Includes exchange legs.
+    std::uint64_t quota_denied = 0;
+    std::uint64_t admission_denied = 0;
+    std::uint64_t admission_grants = 0;
+    std::uint64_t over_quota_allocs = 0;
+    std::size_t used_fast = 0;            ///< Fast pages held at exit.
+    std::size_t quota = 0;                ///< Fast-tier quota (kNoQuota = none).
+};
+
 /** Aggregate outcome of one run. */
 struct RunResult {
     SimTimeNs runtime_ns = 0;             ///< Total simulated runtime.
@@ -129,6 +149,8 @@ struct RunResult {
     std::uint64_t pebs_suppressed = 0;    ///< Samples lost to injected faults.
     std::uint64_t invariant_audits = 0;   ///< Audits run (check_invariants).
     std::vector<IntervalRecord> timeline; ///< If record_timeline.
+    /** Per-tenant outcomes; empty unless the run was multi-tenant. */
+    std::vector<TenantSummary> tenants;
     /** The run's collectors (null unless EngineConfig::telemetry.any()). */
     std::shared_ptr<telemetry::Telemetry> telemetry;
 

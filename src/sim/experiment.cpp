@@ -82,15 +82,32 @@ RunResult
 run_experiment(const RunSpec& spec, policies::Policy& policy)
 {
     const Bytes page_size = 2ull << 20;
-    auto gen = workloads::make_workload(spec.workload, page_size,
-                                        spec.accesses, spec.seed);
+    spec.tenancy.validate();
+    // Multi-tenant runs interleave N per-tenant generators; the plain
+    // path below is untouched at tenants <= 1 (scripts/ci.sh diffs
+    // --tenants=1 against the seed goldens).
+    std::unique_ptr<tenancy::TenantSet> set;
+    std::unique_ptr<workloads::AccessGenerator> gen;
+    if (spec.tenancy.enabled()) {
+        set = tenancy::make_tenant_set(spec.tenancy, spec.workload,
+                                       page_size, spec.accesses, spec.seed);
+    } else {
+        gen = workloads::make_workload(spec.workload, page_size,
+                                       spec.accesses, spec.seed);
+    }
+    workloads::AccessGenerator& workload = set != nullptr ? *set : *gen;
     auto machine_config =
-        make_machine_config(gen->footprint(), spec.ratio, page_size);
+        make_machine_config(workload.footprint(), spec.ratio, page_size);
     memsim::TieredMachine machine(machine_config);
+    if (set != nullptr) {
+        machine.install_tenants(tenancy::make_tenant_ledger(
+            spec.tenancy, *set, machine.page_count(),
+            machine_config.fast_capacity_pages()));
+    }
     sim::EngineConfig engine = spec.engine;
     if (engine.shards > 0 && engine.shard_seed == 0)
         engine.shard_seed = spec.seed;
-    return run_simulation(*gen, policy, machine, engine);
+    return run_simulation(workload, policy, machine, engine);
 }
 
 }  // namespace artmem::sim

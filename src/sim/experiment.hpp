@@ -14,6 +14,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/registry.hpp"
+#include "tenancy/tenancy.hpp"
 #include "util/cli.hpp"
 #include "workloads/factory.hpp"
 
@@ -62,6 +63,16 @@ struct RunSpec {
     std::uint64_t accesses = 8000000;
     std::uint64_t seed = 42;
     EngineConfig engine;            ///< Cadence / instrumentation.
+    /**
+     * Multi-tenant serving shape (DESIGN.md §13). Inert at the default
+     * tenants=1: the run takes the plain single-tenant path and is
+     * byte-identical to one without the subsystem. With tenants > 1 the
+     * workload name becomes the base of the tenant mix, `accesses` is
+     * the aggregate budget split evenly across tenants, and the machine
+     * gets a TenantLedger with the configured quotas and admission
+     * controller installed.
+     */
+    tenancy::TenancyConfig tenancy;
 };
 
 /**

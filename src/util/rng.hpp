@@ -61,6 +61,7 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index);
 enum class SeedDomain : std::uint64_t {
     kJob = 0,                          ///< Sweep jobs (legacy stream).
     kShard = 0x9d5c7f2b3a61e845ull,    ///< In-run shard lanes.
+    kTenant = 0xc2b2ae3d27d4eb4full,   ///< Per-tenant workload streams.
 };
 
 /**

@@ -33,6 +33,8 @@ invariant_name(Invariant invariant)
         return "tx_accounting";
     case Invariant::kShardPartition:
         return "shard_partition";
+    case Invariant::kTenantQuota:
+        return "tenant_quota";
     }
     return "unknown";
 }
@@ -422,6 +424,106 @@ InvariantChecker::check_shard_partition(
 }
 
 std::uint64_t
+InvariantChecker::check_tenant_quota(const memsim::TieredMachine& machine)
+{
+    const memsim::TenantLedger* ledger = machine.tenants();
+    if (ledger == nullptr)
+        violate(Invariant::kTenantQuota,
+                "check_tenant_quota called on a single-tenant machine");
+    const std::size_t pages = machine.page_count();
+    if (ledger->page_count() != pages) {
+        std::ostringstream os;
+        os << "tenant ledger covers " << ledger->page_count()
+           << " pages but the machine holds " << pages;
+        violate(Invariant::kTenantQuota, os.str());
+    }
+    // Per-tenant per-tier census of the residency map, charging
+    // transactional shadow/dual secondary copies exactly like
+    // check_machine(): the ledger mirrors the machine's used-page
+    // bookkeeping, so the same recount must reproduce it per owner.
+    const std::uint32_t tenants = ledger->tenant_count();
+    std::vector<std::size_t> census(
+        static_cast<std::size_t>(tenants) * memsim::kTierCount, 0);
+    for (PageId page = 0; page < pages; ++page) {
+        if (!machine.is_allocated(page))
+            continue;
+        const std::uint32_t owner = ledger->owner(page);
+        if (owner >= tenants) {
+            std::ostringstream os;
+            os << "page " << page << " owned by tenant " << owner
+               << " outside [0, " << tenants << ")";
+            violate(Invariant::kTenantQuota, os.str());
+        }
+        const Tier primary = machine.tier_of(page);
+        ++census[owner * memsim::kTierCount +
+                 static_cast<std::size_t>(primary)];
+        if (machine.tx_page_shadow(page) || machine.tx_page_dual(page))
+            ++census[owner * memsim::kTierCount +
+                     static_cast<std::size_t>(memsim::other_tier(primary))];
+    }
+    std::uint64_t promoted = 0;
+    std::uint64_t demoted = 0;
+    for (std::uint32_t tenant = 0; tenant < tenants; ++tenant) {
+        for (int t = 0; t < memsim::kTierCount; ++t) {
+            const Tier tier = static_cast<Tier>(t);
+            const std::size_t tracked = ledger->used_pages(tenant, tier);
+            const std::size_t counted =
+                census[tenant * memsim::kTierCount +
+                       static_cast<std::size_t>(t)];
+            if (tracked != counted) {
+                std::ostringstream os;
+                os << "tenant " << tenant << " tracks " << tracked
+                   << " resident pages in tier " << memsim::tier_name(tier)
+                   << " but the residency map holds " << counted;
+                violate(Invariant::kTenantQuota, os.str());
+            }
+        }
+        // The quota is hard at migration time and soft only at
+        // first-touch (allocation may spill into the fast tier when the
+        // slow tier is full), so residency above quota is bounded by
+        // the recorded over-quota allocations.
+        const std::size_t quota = ledger->quota(tenant);
+        const auto& totals = ledger->totals(tenant);
+        if (quota != memsim::TenantLedger::kNoQuota) {
+            const std::size_t used_fast =
+                ledger->used_pages(tenant, Tier::kFast);
+            if (used_fast > quota + totals.over_quota_allocs) {
+                std::ostringstream os;
+                os << "tenant " << tenant << " holds " << used_fast
+                   << " fast pages over its quota of " << quota << " ("
+                   << totals.over_quota_allocs
+                   << " over-quota allocations recorded)";
+                violate(Invariant::kTenantQuota, os.str());
+            }
+        }
+        promoted += totals.promoted_pages;
+        demoted += totals.demoted_pages;
+    }
+    // Per-tenant migration totals reconcile with the machine's: an
+    // exchange counts one promotion and one demotion in the ledger but
+    // lands in the machine's dedicated exchange counter.
+    const auto& machine_totals = machine.totals();
+    if (promoted !=
+        machine_totals.promoted_pages + machine_totals.exchanges) {
+        std::ostringstream os;
+        os << "per-tenant promotions sum to " << promoted
+           << " but the machine counts " << machine_totals.promoted_pages
+           << " promotions + " << machine_totals.exchanges << " exchanges";
+        violate(Invariant::kTenantQuota, os.str());
+    }
+    if (demoted !=
+        machine_totals.demoted_pages + machine_totals.exchanges) {
+        std::ostringstream os;
+        os << "per-tenant demotions sum to " << demoted
+           << " but the machine counts " << machine_totals.demoted_pages
+           << " demotions + " << machine_totals.exchanges << " exchanges";
+        violate(Invariant::kTenantQuota, os.str());
+    }
+    return static_cast<std::uint64_t>(pages) +
+           static_cast<std::uint64_t>(tenants) * memsim::kTierCount + 2;
+}
+
+std::uint64_t
 InvariantChecker::check_qtable(const rl::QTable& table, double bound,
                                std::string_view label)
 {
@@ -481,6 +583,8 @@ InvariantChecker::audit(const memsim::TieredMachine& machine,
     examined += check_tx_accounting(machine);
     if (sharded != nullptr)
         examined += check_shard_partition(machine, *sharded);
+    if (machine.tenants() != nullptr)
+        examined += check_tenant_quota(machine);
     if (const auto* artmem =
             dynamic_cast<const core::ArtMem*>(&policy)) {
         if (artmem->initialized())

@@ -68,6 +68,7 @@ enum class Invariant : std::uint8_t {
     kQTableValue,         ///< Non-finite or out-of-bound action value.
     kTxAccounting,        ///< Transaction counters vs. draw bookkeeping.
     kShardPartition,      ///< Shard ownership map / per-shard census drift.
+    kTenantQuota,         ///< Tenant ledger census / quota violation.
 };
 
 /** Printable invariant name ("residency_count", ...). */
@@ -180,6 +181,24 @@ class InvariantChecker
     [[nodiscard]] static std::uint64_t
     check_shard_partition(const memsim::TieredMachine& machine,
                           const memsim::ShardedAccessEngine& sharded);
+
+    /**
+     * Tenant-ledger accounting (memsim/tenant_ledger.hpp; DESIGN.md
+     * §13). A per-tenant per-tier census of the machine's residency map
+     * — bucketing every allocated page by its ledger owner and charging
+     * transactional shadow/dual secondary copies exactly like
+     * check_machine() — must equal the ledger's used counts tenant by
+     * tenant, and the per-tenant sums must add back up to the machine's
+     * used_pages(). A tenant may hold fast pages beyond its quota only
+     * up to its recorded over-quota allocation count (the soft
+     * first-touch fallback); anything further means a migration slipped
+     * past the quota gate. Per-tenant promotion/demotion totals must
+     * sum to the machine's (exchanges count one promotion and one
+     * demotion each).
+     * @returns pages censused plus per-tenant counters reconciled.
+     */
+    [[nodiscard]] static std::uint64_t
+    check_tenant_quota(const memsim::TieredMachine& machine);
 
     /**
      * Q-table sanity: every entry finite and |Q| <= @p bound.

@@ -1,0 +1,18 @@
+// detlint fixture: tenancy code drawing from the frozen kJob seed
+// stream — every use below must fire DL002. The path places this file
+// under src/tenancy, where the scoped rule applies: tenant seed
+// streams must derive from SeedDomain::kTenant, or tenant 3 collides
+// with sweep job 3.
+#include <cstdint>
+
+enum class SeedDomain : std::uint64_t { kJob = 0, kTenant = 1 };
+
+std::uint64_t derive_seed(std::uint64_t base, SeedDomain domain,
+                          std::uint64_t index);
+
+std::uint64_t
+fixture_tenant_seed(std::uint64_t base, std::uint32_t tenant)
+{
+    const auto wrong = derive_seed(base, SeedDomain::kJob, tenant);
+    return wrong ^ static_cast<std::uint64_t>(SeedDomain::kJob);
+}

@@ -1,0 +1,14 @@
+// detlint fixture: tenancy code deriving its streams from the tenant
+// seed domain — must produce no findings.
+#include <cstdint>
+
+enum class SeedDomain : std::uint64_t { kJob = 0, kTenant = 1 };
+
+std::uint64_t derive_seed(std::uint64_t base, SeedDomain domain,
+                          std::uint64_t index);
+
+std::uint64_t
+fixture_tenant_seed(std::uint64_t base, std::uint32_t tenant)
+{
+    return derive_seed(base, SeedDomain::kTenant, tenant);
+}

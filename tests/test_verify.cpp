@@ -13,6 +13,7 @@
 
 #include "core/artmem.hpp"
 #include "memsim/fault_injector.hpp"
+#include "memsim/tenant_ledger.hpp"
 #include "memsim/tiered_machine.hpp"
 #include "sim/experiment.hpp"
 #include "verify/invariant_checker.hpp"
@@ -78,6 +79,24 @@ struct MachineTestPeer {
     }
 };
 
+/** Test-only corruption back door (friend of TenantLedger). */
+struct TenantLedgerTestPeer {
+    /** Bump a tenant's per-tier residency count behind the census. */
+    static void skew_used(TenantLedger& ledger, std::uint32_t tenant,
+                          Tier tier, int delta)
+    {
+        auto& slot =
+            ledger.used_[tenant * kTierCount + static_cast<int>(tier)];
+        slot = static_cast<std::size_t>(static_cast<long long>(slot) + delta);
+    }
+
+    /** Count a promotion that never happened on the machine. */
+    static void skew_promoted(TenantLedger& ledger, std::uint32_t tenant)
+    {
+        ++ledger.totals_[tenant].promoted_pages;
+    }
+};
+
 }  // namespace artmem::memsim
 
 namespace artmem::stats {
@@ -131,6 +150,7 @@ TEST(InvariantNames, AreStable)
               "fault_accounting");
     EXPECT_EQ(invariant_name(Invariant::kQTableValue), "qtable_value");
     EXPECT_EQ(invariant_name(Invariant::kTxAccounting), "tx_accounting");
+    EXPECT_EQ(invariant_name(Invariant::kTenantQuota), "tenant_quota");
 }
 
 TEST(CheckMachine, HealthyMachinePasses)
@@ -447,6 +467,87 @@ TEST(CheckTxAccountingOff, TxOffMachinePasses)
     TieredMachine machine(small_machine_config());
     machine.prefault_range(0, 40);
     EXPECT_GT(InvariantChecker::check_tx_accounting(machine), 0u);
+}
+
+// --- multi-tenant quota/attribution accounting -------------------------
+
+using memsim::TenantLedger;
+using memsim::TenantLedgerTestPeer;
+
+/** Machine with a two-tenant ledger (24 pages each, no quota) fully
+ *  prefaulted: 16 fast + 32 slow pages, all owned. */
+class CheckTenantQuota : public ::testing::Test
+{
+  protected:
+    CheckTenantQuota() : machine_(small_machine_config())
+    {
+        auto ledger = std::make_unique<TenantLedger>(2, 48);
+        ledger->set_owner_span(0, 24, 0);
+        ledger->set_owner_span(24, 24, 1);
+        machine_.install_tenants(std::move(ledger));
+        machine_.prefault_range(0, 48);
+    }
+
+    TieredMachine machine_;
+};
+
+TEST_F(CheckTenantQuota, HealthyMultiTenantMachinePasses)
+{
+    EXPECT_GT(InvariantChecker::check_tenant_quota(machine_), 0u);
+    // The per-interval audit picks the check up automatically.
+    core::ArtMem policy;
+    policy.init(machine_);
+    InvariantChecker checker;
+    EXPECT_GT(checker.audit(machine_, policy), 0u);
+}
+
+TEST_F(CheckTenantQuota, SkewedTenantResidencyFires)
+{
+    TenantLedgerTestPeer::skew_used(*machine_.tenants(), 0, Tier::kFast, 1);
+    try {
+        (void)InvariantChecker::check_tenant_quota(machine_);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& violation) {
+        EXPECT_EQ(violation.which(), Invariant::kTenantQuota);
+        EXPECT_NE(std::string(violation.what()).find("tenant_quota"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(CheckTenantQuota, ResidencyAboveQuotaFires)
+{
+    // Prefault ran without quotas, so tenant 0 (low addresses) filled
+    // the whole fast tier. Imposing a quota below its residency now,
+    // with no over-quota allocations recorded, must trip the bound.
+    ASSERT_EQ(machine_.tenants()->used_pages(0, Tier::kFast), 16u);
+    machine_.tenants()->set_quota(0, 4);
+    try {
+        (void)InvariantChecker::check_tenant_quota(machine_);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation& violation) {
+        EXPECT_EQ(violation.which(), Invariant::kTenantQuota);
+        EXPECT_NE(std::string(violation.what()).find("quota"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(CheckTenantQuota, PhantomPromotionFires)
+{
+    // A per-tenant promotion with no matching machine migration breaks
+    // the attribution reconciliation.
+    TenantLedgerTestPeer::skew_promoted(*machine_.tenants(), 1);
+    EXPECT_THROW((void)InvariantChecker::check_tenant_quota(machine_),
+                 InvariantViolation);
+}
+
+TEST(CheckTenantQuotaOff, SingleTenantMachineIsRejected)
+{
+    // The audit gates the check on tenants() != nullptr; calling it
+    // directly on a single-tenant machine is a checker-usage bug.
+    TieredMachine machine(small_machine_config());
+    machine.prefault_range(0, 40);
+    EXPECT_THROW((void)InvariantChecker::check_tenant_quota(machine),
+                 InvariantViolation);
 }
 
 // --- integration: full fault-scenario runs under per-interval audit ----

@@ -91,6 +91,9 @@ parse_spec(const CliArgs& args)
 
     // Transactional migration engine (off by default = strict no-op).
     spec.engine.tx = sim::parse_tx_cli(args);
+
+    // Multi-tenant serving (tenants <= 1 = strict no-op).
+    spec.tenancy = tenancy::parse_tenancy_cli(args);
     return spec;
 }
 
@@ -206,6 +209,33 @@ print_result(const sim::RunResult& r, const sim::RunSpec& spec)
                   << " dual_reclaims=" << r.totals.tx_dual_reclaims;
     }
     std::cout << "\n";
+    if (!r.tenants.empty()) {
+        std::cout << "tenants=" << r.tenants.size()
+                  << " quota_denied=" << r.totals.failed_quota
+                  << " admission_denied=" << r.totals.failed_admission
+                  << "\n";
+        Table table({"tenant", "fast_ratio", "accesses", "samples",
+                     "promoted", "demoted", "used_fast", "quota",
+                     "denied", "grants"});
+        for (std::size_t t = 0; t < r.tenants.size(); ++t) {
+            const auto& ts = r.tenants[t];
+            const bool unlimited =
+                ts.quota == memsim::TenantLedger::kNoQuota;
+            table.row()
+                .cell(t)
+                .cell(ts.fast_ratio, 3)
+                .cell(ts.accesses[0] + ts.accesses[1])
+                .cell(ts.samples)
+                .cell(ts.promoted)
+                .cell(ts.demoted)
+                .cell(ts.used_fast)
+                .cell(unlimited ? std::string("-")
+                                : std::to_string(ts.quota))
+                .cell(ts.quota_denied + ts.admission_denied)
+                .cell(ts.admission_grants);
+        }
+        table.print(std::cout);
+    }
 }
 
 int
@@ -399,6 +429,14 @@ main(int argc, char** argv)
                "migrations; DESIGN.md section 10)\n"
                "       --tx-write-ratio=R --tx-max-inflight=N --tx-seed=N "
                "--tx-exclusive (release the source slot at commit)\n"
+               "       --tenants=N (interleave N tenant workloads; "
+               "DESIGN.md section 13) --tenant-quota=PAGES "
+               "--tenant-quota-share=F\n"
+               "       --tenant-mix=w1,w2,... --tenant-weights=a,b,... "
+               "--tenant-quantum=N --tenant-phase-stride=N "
+               "--tenant-config=<file>\n"
+               "       --admission=<none|allow_all|static|feedback> "
+               "--admission-rate=N --admission-target=R --admission-max=N\n"
                "       --check-invariants (audit simulator state every "
                "interval; see DESIGN.md section 6)\n"
                "       --metrics-out=FILE --trace-out=BASE (writes "
