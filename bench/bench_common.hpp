@@ -42,6 +42,10 @@ struct BenchOptions {
      *  Byte-identical output for every value, like --jobs
      *  (scripts/ci.sh diffs a two-way fig7 run). */
     unsigned shards = 0;
+    /** Phase-2 merge for sharded runs (--merge=parallel|serial);
+     *  parallel is the default, serial the oracle. Byte-identical
+     *  either way. */
+    bool parallel_merge = true;
 
     /**
      * Parse the shared flag set; @p extra_flags names any harness-
@@ -55,7 +59,8 @@ struct BenchOptions {
     {
         const auto args = CliArgs::parse(argc, argv);
         static constexpr std::string_view kShared[] = {
-            "accesses", "seed", "quick", "csv", "json", "jobs", "shards"};
+            "accesses", "seed", "quick", "csv", "json", "jobs", "shards",
+            "merge"};
         for (const auto& name : args.flag_names()) {
             const bool known =
                 std::find(std::begin(kShared), std::end(kShared), name) !=
@@ -82,6 +87,14 @@ struct BenchOptions {
         opt.json = args.get_bool("json", false);
         opt.jobs = static_cast<unsigned>(args.get_int("jobs", 0));
         opt.shards = static_cast<unsigned>(args.get_int("shards", 0));
+        const std::string merge = args.get_string("merge", "parallel");
+        if (merge == "parallel")
+            opt.parallel_merge = true;
+        else if (merge == "serial")
+            opt.parallel_merge = false;
+        else
+            fatal("--merge must be 'parallel' or 'serial', got '", merge,
+                  "'");
         return opt;
     }
 
@@ -123,6 +136,7 @@ make_spec(const BenchOptions& opt, std::string workload, std::string policy,
     spec.accesses = opt.accesses;
     spec.seed = opt.seed;
     spec.engine.shards = opt.shards;
+    spec.engine.parallel_merge = opt.parallel_merge;
     return spec;
 }
 

@@ -58,9 +58,18 @@ TSAN_OPTIONS=halt_on_error=1 \
     "${prefix}-tsan/bench/bench_fig7_main" --csv --accesses=50000 --jobs=4 \
     > "${prefix}-tsan/fig7_tsan.csv"
 
-echo "==> TSan sharded sweep (--shards 2, sharded access pipeline)"
+echo "==> TSan sharded sweep (--shards 2, parallel + serial merge)"
+# The default parallel per-lane merge exercises concurrent lane walks;
+# the explicit --merge=serial run keeps the oracle path covered. Both
+# must also agree byte-for-byte even under TSan's scheduling jitter.
 TSAN_OPTIONS=halt_on_error=1 \
     "${prefix}-tsan/bench/bench_fig7_main" --csv --accesses=50000 \
-    --shards=2 > "${prefix}-tsan/fig7_tsan_shards.csv"
+    --shards=2 --merge=parallel > "${prefix}-tsan/fig7_tsan_shards.csv"
+TSAN_OPTIONS=halt_on_error=1 \
+    "${prefix}-tsan/bench/bench_fig7_main" --csv --accesses=50000 \
+    --shards=2 --merge=serial \
+    > "${prefix}-tsan/fig7_tsan_shards_serial.csv"
+cmp "${prefix}-tsan/fig7_tsan_shards.csv" \
+    "${prefix}-tsan/fig7_tsan_shards_serial.csv"
 
 echo "==> sanitizers clean"

@@ -1,0 +1,67 @@
+#include "lru/sharded_lru.hpp"
+
+#include "util/logging.hpp"
+
+namespace artmem::lru {
+
+ShardedLru::ShardedLru(std::size_t page_count, unsigned shards)
+    : merged_(page_count), stamp_(page_count, 0), touches_(shards)
+{
+    if (shards == 0)
+        panic("ShardedLru: shard count must be positive");
+    segments_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s)
+        segments_.emplace_back(page_count);
+}
+
+void
+ShardedLru::splice()
+{
+    ++splices_;
+    merged_.clear();
+    const unsigned n = shards();
+    // Per-segment walk cursor, reused across the four lists.
+    std::vector<PageId> cursor(n);
+    for (int l = 0; l < 4; ++l) {
+        const ListId list = static_cast<ListId>(l);
+        for (unsigned s = 0; s < n; ++s)
+            cursor[s] = segments_[s].head(list);
+        // K-way merge by stamp descending: each segment list is
+        // already in strictly descending stamp order (every touch
+        // moves its page to a head with a fresh, globally unique
+        // stamp), so repeatedly taking the largest head stamp emits
+        // the serial oracle's order. Ties are impossible; the shard
+        // index tiebreak below only makes the comparator total.
+        while (true) {
+            unsigned best = n;
+            std::uint64_t best_stamp = 0;
+            for (unsigned s = 0; s < n; ++s) {
+                const PageId head = cursor[s];
+                if (head == kInvalidPage)
+                    continue;
+                if (best == n || stamp_[head] > best_stamp) {
+                    best = s;
+                    best_stamp = stamp_[head];
+                }
+            }
+            if (best == n)
+                break;
+            const PageId page = cursor[best];
+            cursor[best] = segments_[best].next(page);
+            merged_.insert_tail(page, list);
+            if (segments_[best].referenced(page))
+                merged_.set_referenced(page);
+        }
+    }
+}
+
+std::uint64_t
+ShardedLru::touches() const
+{
+    std::uint64_t total = 0;
+    for (const TouchCount& c : touches_)
+        total += c.value;
+    return total;
+}
+
+}  // namespace artmem::lru

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Per-shard LRU segments with a deterministic decision-boundary splice
+ * (DESIGN.md §12, phase-2 parallel merge).
+ *
+ * The sharded access engine's parallel merge lets every lane record
+ * page recency for its owned slices without synchronization: each
+ * shard owns a private LruLists segment, and a lane only ever touches
+ * pages it owns, so segment mutations and the per-page last-touch
+ * stamps are disjoint writes by construction. At decision-interval
+ * boundaries the segments are spliced into one merged global view that
+ * is provably identical to what a single serial LruLists fed the same
+ * touch stream would hold:
+ *
+ *  - a page's membership (which of the four lists) and referenced bit
+ *    depend ONLY on that page's own touch history — every touch of a
+ *    page lands in the one segment that owns it, so per-page state in
+ *    the segment equals per-page state in the serial oracle;
+ *  - every touch moves the touched page to the head of exactly one
+ *    list, so within any list pages sit in strictly descending order
+ *    of their last-touch stamp; the serial oracle's global list obeys
+ *    the same rule. A k-way merge of the segments' lists by stamp
+ *    descending therefore reproduces the serial order exactly (stamps
+ *    are globally unique access sequence numbers, so the order is
+ *    total). tests/test_sharded.cpp checks this against a serially
+ *    touched LruLists oracle.
+ *
+ * The splice is pure bookkeeping over engine-internal state: nothing
+ * byte-observable consumes the merged view yet (policies keep their
+ * own lists), so it cannot perturb the engine's byte-identity
+ * contract. It exists to parallelize the recency maintenance that a
+ * future per-shard policy state will consume, and it is audited by the
+ * kShardPartition invariant (segment ownership + stamp monotonicity).
+ */
+#ifndef ARTMEM_LRU_SHARDED_LRU_HPP
+#define ARTMEM_LRU_SHARDED_LRU_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "lru/lru_lists.hpp"
+#include "memsim/tier.hpp"
+#include "util/types.hpp"
+
+namespace artmem::lru {
+
+/** N private LruLists segments + a stamp-ordered merged view. */
+class ShardedLru
+{
+  public:
+    /**
+     * @param page_count Size of the page id space (every segment and
+     *                   the merged view cover the full space; only
+     *                   owned pages are ever linked in a segment).
+     * @param shards     Number of segments.
+     */
+    ShardedLru(std::size_t page_count, unsigned shards);
+
+    /**
+     * Record an access to @p page served from @p tier, observed by
+     * @p shard at global access sequence number @p stamp. Safe to call
+     * concurrently from different shards as long as each shard only
+     * touches pages it owns (the sharded engine's ownership partition
+     * guarantees this); stamps must be globally unique and increasing
+     * within a shard.
+     */
+    void
+    touch(unsigned shard, PageId page, memsim::Tier tier,
+          std::uint64_t stamp)
+    {
+        segments_[shard].touch(page, tier);
+        stamp_[page] = stamp;
+        ++touches_[shard].value;
+    }
+
+    /**
+     * Rebuild the merged global view from the segments: k-way merge
+     * each of the four lists across segments by last-touch stamp
+     * descending and copy per-page referenced bits. Serial-equivalence
+     * argument in the file header. Not thread-safe; call only between
+     * batches (the engine splices at decision boundaries).
+     */
+    void splice();
+
+    /** Merged global view as of the last splice(). */
+    const LruLists& merged() const { return merged_; }
+
+    /** One shard's private segment. */
+    const LruLists& segment(unsigned shard) const
+    {
+        return segments_[shard];
+    }
+
+    /** Last-touch stamp of @p page (0 if never touched). */
+    std::uint64_t stamp_of(PageId page) const { return stamp_[page]; }
+
+    /** Segment count. */
+    unsigned shards() const
+    {
+        return static_cast<unsigned>(segments_.size());
+    }
+
+    /** Page id space size. */
+    std::size_t page_count() const { return stamp_.size(); }
+
+    /** Total touches recorded across all segments. */
+    std::uint64_t touches() const;
+
+    /** Splices performed. */
+    std::uint64_t splices() const { return splices_; }
+
+  private:
+    friend struct ShardedLruTestPeer;
+
+    std::vector<LruLists> segments_;
+    LruLists merged_;
+    std::vector<std::uint64_t> stamp_;
+    /** Per-shard touch counter, cache-line aligned so concurrent
+     *  shards never bounce a line while counting. */
+    struct alignas(64) TouchCount {
+        std::uint64_t value = 0;
+    };
+    std::vector<TouchCount> touches_;
+    std::uint64_t splices_ = 0;
+};
+
+}  // namespace artmem::lru
+
+#endif  // ARTMEM_LRU_SHARDED_LRU_HPP

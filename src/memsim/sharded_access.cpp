@@ -1,12 +1,17 @@
 #include "memsim/sharded_access.hpp"
 
+#include "memsim/tenant_ledger.hpp"
 #include "util/logging.hpp"
 
 namespace artmem::memsim {
 
 ShardedAccessEngine::ShardedAccessEngine(TieredMachine& machine,
                                          const Config& config)
-    : machine_(machine), shards_(config.shards), audit_(config.audit)
+    : machine_(machine),
+      shards_(config.shards),
+      audit_(config.audit),
+      parallel_(config.parallel_merge),
+      delay_hook_(config.lane_delay_hook)
 {
     if (shards_ == 0 || shards_ > kNumSlices)
         fatal("ShardedAccessEngine: shard count must be in [1, ",
@@ -23,6 +28,9 @@ ShardedAccessEngine::ShardedAccessEngine(TieredMachine& machine,
     }
     if (shards_ > 1)
         pool_ = std::make_unique<ThreadPool>(shards_ - 1);
+    if (parallel_)
+        recency_ = std::make_unique<lru::ShardedLru>(machine.page_count(),
+                                                     shards_);
 }
 
 void
@@ -52,6 +60,67 @@ ShardedAccessEngine::audited_accesses() const
     return total;
 }
 
+std::uint64_t
+ShardedAccessEngine::pending_samples() const
+{
+    std::uint64_t total = 0;
+    for (const Lane& lane : lanes_)
+        total += lane.pending.size();
+    return total;
+}
+
+void
+ShardedAccessEngine::merge_boundary(PebsSampler& sampler)
+{
+    // The ownership map is fixed at construction; the epoch simply
+    // dates how many boundary merges it has been live through, which
+    // partition panics report for triage.
+    ++merge_epochs_;
+    if (!parallel_)
+        return;
+    for (Lane& ln : lanes_)
+        ln.merge_cursor = 0;
+    // K-way merge of the per-shard streams ascending by seq. The merge
+    // key is (sim_time, shard, seq); the simulated clock strictly
+    // increases at every access, so sim-time order IS seq order and
+    // the remaining components can never be reached as tiebreaks
+    // (PendingSample doc). Each lane's pending vector is already
+    // seq-sorted (appended in batch order, batch-front-to-back).
+    while (true) {
+        unsigned best = shards_;
+        std::uint64_t best_seq = 0;
+        for (unsigned s = 0; s < shards_; ++s) {
+            const Lane& ln = lanes_[s];
+            if (ln.merge_cursor >= ln.pending.size())
+                continue;
+            const std::uint64_t seq = ln.pending[ln.merge_cursor].seq;
+            if (best == shards_ || seq < best_seq) {
+                best = s;
+                best_seq = seq;
+            }
+        }
+        if (best == shards_)
+            break;
+        Lane& ln = lanes_[best];
+        const PendingSample& ps = ln.pending[ln.merge_cursor++];
+        // Exactly the serial observe()'s record half, replayed in
+        // stream order: recorded() advances and the ring drops on
+        // overflow at the same cumulative positions.
+        sampler.push_record(ps.page, ps.tier);
+    }
+    for (Lane& ln : lanes_) {
+        ln.pending.clear();
+        ln.merge_cursor = 0;
+    }
+}
+
+void
+ShardedAccessEngine::splice_recency()
+{
+    if (recency_ != nullptr)
+        recency_->splice();
+}
+
 void
 ShardedAccessEngine::scan_lane(unsigned lane, const PageId* pages,
                                std::size_t n)
@@ -65,9 +134,12 @@ ShardedAccessEngine::scan_lane(unsigned lane, const PageId* pages,
     constexpr std::uint8_t kSpecialMask =
         TieredMachine::kTrapBit | TieredMachine::kTxAccessMask;
 
+    if (delay_hook_) [[unlikely]]
+        delay_hook_(lane);
     Lane& ln = lanes_[lane];
     ln.entries.clear();
     ln.cursor = 0;
+    ln.saw_special = false;
     std::uint8_t* const flags = machine_.flags_.data();
     for (std::size_t i = 0; i < n; ++i) {
         const PageId page = pages[i];
@@ -86,7 +158,10 @@ ShardedAccessEngine::scan_lane(unsigned lane, const PageId* pages,
                 f | TieredMachine::kAccessedBit);
         } else {
             code = kCodeSpecial;
+            ln.saw_special = true;
         }
+        if (record_codes_)
+            codes_[i] = static_cast<std::uint8_t>(code);
         ln.entries.push_back(static_cast<std::uint32_t>(i) << 2 | code);
         if (audit_ && (ln.rng.next() & 1023u) == 0) {
             // Randomized self-check: re-read the byte just classified
@@ -108,23 +183,16 @@ ShardedAccessEngine::scan_lane(unsigned lane, const PageId* pages,
             ++ln.audited;
         }
     }
+    if (delay_hook_) [[unlikely]]
+        delay_hook_(lane + shards_);
 }
 
-template <bool kFaulted>
 void
-ShardedAccessEngine::process_impl(const PageId* pages, std::size_t n,
-                                  PebsSampler& sampler,
-                                  std::uint64_t* pebs_suppressed)
+ShardedAccessEngine::scan_phase(const PageId* pages, std::size_t n)
 {
-    if (n == 0)
-        return;
-    if (n > kMaxBatch)
-        fatal("ShardedAccessEngine: batch of ", n, " exceeds kMaxBatch");
-    ++batches_;
-
-    // Phase 1: ownership scan. Shard 0 runs on the calling thread;
-    // shards 1..N-1 on the pool. wait() is the barrier ordering all
-    // lane writes (and accessed-bit writes) before phase 2 reads.
+    // Shard 0 runs on the calling thread; shards 1..N-1 on the pool.
+    // wait() is the barrier ordering all lane writes (and accessed-bit
+    // writes) before phase 2 reads.
     if (shards_ == 1) {
         scan_lane(0, pages, n);
     } else {
@@ -133,9 +201,16 @@ ShardedAccessEngine::process_impl(const PageId* pages, std::size_t n,
         scan_lane(0, pages, n);
         pool_->wait();
     }
+}
 
-    // Phase 2: serial epoch merge in original batch order. Exactly the
-    // legacy batch loop's observable sequence: plain entries replay the
+template <bool kFaulted>
+void
+ShardedAccessEngine::merge_serial(const PageId* pages, std::size_t n,
+                                  PebsSampler& sampler,
+                                  std::uint64_t* pebs_suppressed)
+{
+    // Serial epoch merge in original batch order. Exactly the legacy
+    // batch loop's observable sequence: plain entries replay the
     // pre-computed classification; special entries (and everything
     // after a trap handler fires) go through access_step(), the shared
     // per-access body.
@@ -188,14 +263,240 @@ ShardedAccessEngine::process_impl(const PageId* pages, std::size_t n,
     machine_.flush_batch_ctx(ctx);
 }
 
+template <bool kFaulted>
+void
+ShardedAccessEngine::walk_lane(unsigned lane, const PageId* pages,
+                               PebsSampler::RecordPlan plan)
+{
+    if (delay_hook_) [[unlikely]]
+        delay_hook_(lane);
+    Lane& ln = lanes_[lane];
+    ln.acc[0] = 0;
+    ln.acc[1] = 0;
+    ln.lat_ns = 0;
+    ln.idx_sum = 0;
+    TenantLedger* const tenants = machine_.tenants_.get();
+    if (tenants != nullptr)
+        ln.tenant_acc.assign(
+            static_cast<std::size_t>(tenants->tenant_count()) * kTierCount,
+            0);
+    const SimTimeNs lat0 = machine_.latency_[0];
+    const SimTimeNs lat1 = machine_.latency_[1];
+    for (const std::uint32_t entry : ln.entries) {
+        const std::size_t i = entry >> 2;
+        const int t = static_cast<int>(entry & 3u);  // all-plain: 0 / 1
+        const PageId page = pages[i];
+        const Tier tier = t != 0 ? Tier::kSlow : Tier::kFast;
+        ++ln.acc[t];
+        ln.idx_sum += i;
+        if constexpr (kFaulted)
+            ln.lat_ns += charges_[i];
+        else
+            ln.lat_ns += t != 0 ? lat1 : lat0;
+        if (tenants != nullptr) [[unlikely]]
+            ++ln.tenant_acc[static_cast<std::size_t>(tenants->owner(page)) *
+                                kTierCount +
+                            static_cast<std::size_t>(t)];
+        bool record;
+        if constexpr (kFaulted)
+            record = record_flags_[i] != 0;
+        else
+            record = i >= plan.first && (i - plan.first) % plan.stride == 0;
+        const std::uint64_t seq = next_seq_ + i;
+        if (record) [[unlikely]]
+            ln.pending.push_back(PendingSample{seq, page, lane, tier});
+        recency_->touch(lane, page, tier, seq);
+    }
+    if (delay_hook_) [[unlikely]]
+        delay_hook_(lane + shards_);
+}
+
+template <bool kFaulted>
+void
+ShardedAccessEngine::merge_parallel(const PageId* pages, std::size_t n,
+                                    PebsSampler& sampler,
+                                    std::uint64_t* pebs_suppressed)
+{
+    const SimTimeNs start = machine_.now_;
+    const SimTimeNs lat[kTierCount] = {machine_.latency_[0],
+                                       machine_.latency_[1]};
+    PebsSampler::RecordPlan plan{n, 1};
+    if constexpr (kFaulted) {
+        // Phase 2a, the irreducible timebase scan: under a fault
+        // injector the clock chain (effective_latency is a function of
+        // the current time) and the suppression draws (ordered RNG)
+        // cannot be split across lanes, so walk the pre-scanned codes
+        // in index order computing per-offset charges and
+        // record/suppression flags. Everything else — latency sums,
+        // counts, tenants, LRU, record capture — still parallelises in
+        // phase 2b.
+        charges_.resize(n);
+        record_flags_.resize(n);
+        FaultInjector* const faults = machine_.faults_.get();
+        SimTimeNs now = start;
+        for (std::size_t i = 0; i < n; ++i) {
+            const unsigned c = codes_[i];
+            if (c > 1) [[unlikely]]
+                panic("sharded parallel merge: batch offset ", i,
+                      " carries no plain classification (code ", c,
+                      ", shards ", shards_, ", ownership-map epoch ",
+                      merge_epochs_, ") — ownership partition violated");
+            const int t = static_cast<int>(c);
+            const Tier tier = t != 0 ? Tier::kSlow : Tier::kFast;
+            const SimTimeNs d =
+                faults->effective_latency(tier, lat[t], now);
+            charges_[i] = d;
+            now += d;
+            // Same draw order as the serial merge: the suppression
+            // draw happens after the access, at the post-access time.
+            if (faults->sample_suppressed(now)) [[unlikely]] {
+                ++*pebs_suppressed;
+                record_flags_[i] = 0;
+            } else {
+                record_flags_[i] =
+                    sampler.step_countdown() ? std::uint8_t{1}
+                                             : std::uint8_t{0};
+            }
+        }
+        faulted_end_now_ = now;
+    } else {
+        // Unfaulted: the countdown advances by exactly one per access,
+        // so record membership is pure arithmetic each lane evaluates
+        // for its own offsets (PebsSampler::plan()). No serial pass at
+        // all.
+        plan = sampler.plan(n);
+    }
+
+    // Phase 2b: per-lane private walks, disjoint by ownership.
+    if (shards_ == 1) {
+        walk_lane<kFaulted>(0, pages, plan);
+    } else {
+        for (unsigned s = 1; s < shards_; ++s)
+            pool_->submit([this, s, pages, plan] {
+                walk_lane<kFaulted>(s, pages, plan);
+            });
+        walk_lane<kFaulted>(0, pages, plan);
+        pool_->wait();
+    }
+
+    // Deterministic fold in fixed shard order. Integer sums are
+    // order-free, so the totals equal the serial merge's regardless of
+    // which thread finished when (the lane-permutation tests drive
+    // this with forced schedules).
+    TieredMachine::BatchCtx ctx{start, {0, 0}, false};
+    TenantLedger* const tenants = machine_.tenants_.get();
+    SimTimeNs lane_lat_total = 0;
+    std::uint64_t count = 0;
+    std::uint64_t idx_sum = 0;
+    for (unsigned s = 0; s < shards_; ++s) {
+        Lane& ln = lanes_[s];
+        ctx.acc[0] += ln.acc[0];
+        ctx.acc[1] += ln.acc[1];
+        lane_lat_total += ln.lat_ns;
+        count += ln.entries.size();
+        idx_sum += ln.idx_sum;
+        ln.folded_accesses += ln.acc[0] + ln.acc[1];
+        ln.folded_lat_ns += ln.lat_ns;
+        if (tenants != nullptr) {
+            const std::size_t cells = ln.tenant_acc.size();
+            for (std::size_t cell = 0; cell < cells; ++cell) {
+                if (ln.tenant_acc[cell] != 0)
+                    tenants->fold_accesses(
+                        static_cast<std::uint32_t>(cell / kTierCount),
+                        static_cast<int>(cell % kTierCount),
+                        ln.tenant_acc[cell]);
+            }
+        }
+    }
+    // Partition checksum: every batch offset consumed exactly once.
+    // (The serial merge checks this per access via lane cursors; the
+    // parallel fold checks the aggregate.)
+    const std::uint64_t want_idx_sum =
+        n == 0 ? 0 : static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    if (count != n || idx_sum != want_idx_sum)
+        panic("sharded parallel merge: lanes consumed ", count, " of ", n,
+              " batch entries (offset checksum ", idx_sum, ", expected ",
+              want_idx_sum, ", shards ", shards_,
+              ", ownership-map epoch ", merge_epochs_,
+              ") — ownership partition violated");
+    // Reconcile the private latency accumulators against an
+    // independently derived charge for the batch: the timebase scan's
+    // clock delta under faults, per-tier counts x tier latency
+    // otherwise. The cumulative version of this check lives in the
+    // kShardPartition audit.
+    SimTimeNs charged;
+    if constexpr (kFaulted) {
+        charged = faulted_end_now_ - start;
+        ctx.now = faulted_end_now_;
+    } else {
+        charged = ctx.acc[0] * lat[0] + ctx.acc[1] * lat[1];
+        ctx.now = start + lane_lat_total;
+    }
+    if (lane_lat_total != charged)
+        panic("sharded parallel merge: lane latency accumulators sum to ",
+              lane_lat_total, " ns but the batch charged ", charged,
+              " ns (shards ", shards_, ", ownership-map epoch ",
+              merge_epochs_, ")");
+    parallel_charged_ns_ += charged;
+    parallel_accesses_ += n;
+    machine_.flush_batch_ctx(ctx);
+}
+
+template <bool kFaulted>
+void
+ShardedAccessEngine::process_impl(const PageId* pages, std::size_t n,
+                                  PebsSampler& sampler,
+                                  std::uint64_t* pebs_suppressed)
+{
+    if (n == 0)
+        return;
+    if (n > kMaxBatch)
+        fatal("ShardedAccessEngine: batch of ", n, " exceeds kMaxBatch");
+    ++batches_;
+
+    // Phase 1: ownership scan. Faulted parallel batches additionally
+    // mirror classifications into codes_ for the timebase scan.
+    record_codes_ = parallel_ && kFaulted;
+    if (record_codes_)
+        codes_.resize(n);
+    scan_phase(pages, n);
+
+    // Phase 2: all-plain batches take the parallel merge; any special
+    // access (first touch, armed trap, tx flags) falls back to the
+    // serial oracle walk for the whole batch — after publishing
+    // pending per-shard records, so the ring still sees every record
+    // in global stream order.
+    bool use_parallel = parallel_;
+    if (parallel_) {
+        for (const Lane& ln : lanes_) {
+            if (ln.saw_special) {
+                use_parallel = false;
+                break;
+            }
+        }
+    }
+    if (use_parallel) {
+        ++parallel_merges_;
+        merge_parallel<kFaulted>(pages, n, sampler, pebs_suppressed);
+    } else {
+        if (parallel_)
+            merge_boundary(sampler);
+        ++serial_merges_;
+        merge_serial<kFaulted>(pages, n, sampler, pebs_suppressed);
+    }
+    next_seq_ += n;
+}
+
 void
 ShardedAccessEngine::panic_partition(PageId page, std::size_t index,
                                      std::uint32_t entry) const
 {
     panic("sharded epoch merge: lane for page ", page, " (slice ",
-          slice_of(page), ", owner ", owner_of(page),
-          ") is out of sync at batch index ", index, ": entry index ",
-          entry >> 2, " — ownership partition violated");
+          slice_of(page), ", owner ", owner_of(page), " of ", shards_,
+          " shards) is out of sync at batch index ", index,
+          ": entry index ", entry >> 2, " (ownership-map epoch ",
+          merge_epochs_, ", batch ", batches_,
+          ") — ownership partition violated");
 }
 
 template void ShardedAccessEngine::process_impl<false>(const PageId*,

@@ -9,12 +9,52 @@
  * per-access page-metadata work: reading the flag byte, classifying the
  * access, and setting the accessed bit. ShardedAccessEngine splits the
  * page space into fixed ownership slices, lets one shard per slice
- * group do that metadata work concurrently (phase 1), and then replays
- * the batch serially in original order to advance the clock, charge
- * latencies, and feed the PEBS sampler (phase 2, the "epoch merge").
+ * group do that metadata work concurrently (phase 1), and then merges
+ * the batch deterministically to advance the clock, charge latencies,
+ * and feed the PEBS sampler (phase 2, the "epoch merge").
+ *
+ * Phase 2 comes in two flavours:
+ *
+ *  - the SERIAL merge (Config::parallel_merge == false, and the
+ *    fallback whenever a batch contains a special access): walk the
+ *    batch in original index order on the calling thread, consuming
+ *    each shard's (index-sorted) lane, so every latency charge,
+ *    fault-injector draw, and sampler observation happens in exactly
+ *    the legacy order. This is the oracle the parallel merge is
+ *    diffed against (tests/test_diff_model.cpp, four-way lockstep).
+ *
+ *  - the PARALLEL merge (Config::parallel_merge == true, all-plain
+ *    batches): each lane privately accumulates its owned accesses'
+ *    latency sum, per-tier counts, per-tenant counts, per-shard PEBS
+ *    sampler records, and per-shard LRU segment touches; a
+ *    deterministic fold then combines lane accumulators in fixed
+ *    shard order at batch end, and the per-shard sampler streams /
+ *    LRU segments are merged only at decision-interval boundaries
+ *    (merge_boundary() / splice_recency(), called by the engine).
+ *    Byte-identity holds because
+ *      * integer latency sums and access counts are order-free, so a
+ *        fixed-order fold reproduces the serial totals exactly;
+ *      * whether the global PEBS countdown records observation i of a
+ *        batch is pure arithmetic over the batch-entry countdown
+ *        (PebsSampler::plan()), which each lane evaluates for its own
+ *        offsets independently; records are published at the next
+ *        boundary in (sim_time, shard, seq) order — and since the
+ *        simulated clock strictly increases at every access, that
+ *        order IS the global access-sequence order, so the ring
+ *        receives the same cumulative push sequence before every
+ *        drain (identical records AND identical drops);
+ *      * under a fault injector the clock chain (effective_latency
+ *        depends on the current time) and the suppression draws
+ *        (order-dependent RNG) are irreducibly serial, so a cheap
+ *        serial "timebase scan" (phase 2a) computes per-index charges
+ *        and record/suppression flags first, and the lanes then do
+ *        everything else in parallel (phase 2b);
+ *      * any batch containing a special access (first touch, armed
+ *        trap, transactional flags) takes the serial merge after
+ *        flushing pending records, preserving stream order.
  *
  * Determinism contract: results are byte-identical across shard counts
- * AND to the unsharded batch loop, because
+ * AND merge modes AND to the unsharded batch loop, because
  *
  *  - ownership is a pure function of the page number over a FIXED
  *    number of slices (64), independent of the shard count — shards
@@ -26,33 +66,31 @@
  *    anyway, and one nothing can observe mid-batch (policies read
  *    accessed bits only from tick/interval callbacks, which run
  *    between batches);
- *  - phase 2 walks the batch in original index order on the calling
- *    thread, consuming each shard's (index-sorted) lane, so every
- *    latency charge, fault-injector draw, and sampler observation
- *    happens in exactly the legacy order;
- *  - accesses that phase 1 cannot pre-classify (first touch, armed
- *    trap, transactional flags) are marked special and replayed
- *    through TieredMachine::access_step() — the same code the
+ *  - accesses that phase 1 cannot pre-classify are marked special and
+ *    replayed through TieredMachine::access_step() — the same code the
  *    unsharded loop runs — with a fresh flag read;
  *  - the moment a trap handler actually runs (it may migrate pages,
- *    invalidating pre-scanned tiers), phase 2 falls back to
+ *    invalidating pre-scanned tiers), the serial merge falls back to
  *    access_step() for the entire remaining batch ("legacy tail").
  *
  * Thread safety: shards touch disjoint flag bytes (ownership is a
- * partition), each worker writes only its own cache-line-aligned lane,
- * and the ThreadPool's wait() barrier orders phase 1 before phase 2 —
- * no locks needed beyond the pool's own annotated util::Mutex
- * internals. scripts/check_sanitizers.sh runs the sharded suites under
- * TSan to enforce this.
+ * partition), each worker writes only its own cache-line-aligned lane
+ * (and, in phase 2b, its own LRU segment and owned pages' stamps), and
+ * the ThreadPool's wait() barriers order phase 1 before phase 2 and
+ * phase 2b before the fold — no locks needed beyond the pool's own
+ * annotated util::Mutex internals. scripts/check_sanitizers.sh runs
+ * the sharded suites under TSan to enforce this.
  */
 #ifndef ARTMEM_MEMSIM_SHARDED_ACCESS_HPP
 #define ARTMEM_MEMSIM_SHARDED_ACCESS_HPP
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "lru/sharded_lru.hpp"
 #include "memsim/pebs.hpp"
 #include "memsim/tiered_machine.hpp"
 #include "util/rng.hpp"
@@ -62,11 +100,14 @@
 namespace artmem::memsim {
 
 /**
- * Parallel per-shard metadata scan + serial deterministic replay over
- * one TieredMachine. Construct once per run and call process() /
+ * Parallel per-shard metadata scan + deterministic merge over one
+ * TieredMachine. Construct once per run and call process() /
  * process_faulted() wherever access_batch() / access_batch_faulted()
  * would be called; the outputs are bit-identical (tests/test_sharded
  * and tests/test_diff_model enforce this against the scalar oracle).
+ * With Config::parallel_merge, the engine must also call
+ * merge_boundary() before every sampler drain and splice_recency() at
+ * decision boundaries (sim/engine.cpp does both).
  */
 class ShardedAccessEngine
 {
@@ -107,6 +148,37 @@ class ShardedAccessEngine
          * EngineConfig::check_invariants.
          */
         bool audit = false;
+        /**
+         * Run phase 2 of all-plain batches as per-lane parallel work
+         * with a deterministic fold (file header). false keeps the
+         * serial epoch merge for every batch — the oracle mode the
+         * parallel merge is byte-diffed against in tests and CI.
+         */
+        bool parallel_merge = false;
+        /**
+         * Test-only: called by every lane when entering (value = lane)
+         * and leaving (value = lane + shards) its phase-1 scan and
+         * phase-2b walk. tests/test_sharded.cpp uses it to force
+         * arbitrary lane completion orders and prove the merge is
+         * schedule-invariant; it must not touch simulation state.
+         */
+        std::function<void(unsigned)> lane_delay_hook = nullptr;
+    };
+
+    /**
+     * One record captured by a lane's private sampler stream, awaiting
+     * the boundary merge. `seq` is the global access sequence number;
+     * because the simulated clock strictly increases at every access,
+     * ascending seq equals ascending (sim_time, shard, seq) — the
+     * merge key — so the boundary merge orders by seq alone. `shard`
+     * is the capturing lane, kept redundantly so the kShardPartition
+     * audit can cross-check attribution against the ownership map.
+     */
+    struct PendingSample {
+        std::uint64_t seq;
+        PageId page;
+        std::uint32_t shard;
+        Tier tier;
     };
 
     /** Bind to @p machine; fatal() on an out-of-range shard count. */
@@ -119,6 +191,24 @@ class ShardedAccessEngine
     void process_faulted(const PageId* pages, std::size_t n,
                          PebsSampler& sampler,
                          std::uint64_t& pebs_suppressed);
+
+    /**
+     * Publish all pending per-shard sampler records into @p sampler in
+     * global access order (k-way merge by seq; see PendingSample) and
+     * advance the merge epoch. The engine calls this at every tick and
+     * decision boundary BEFORE draining, and process() calls it before
+     * any serial-merge batch, so the ring's cumulative push sequence
+     * at each drain point is identical to the serial path's. A no-op
+     * (beyond the epoch bump) without parallel_merge.
+     */
+    void merge_boundary(PebsSampler& sampler);
+
+    /**
+     * Splice the per-shard LRU segments into the merged recency view
+     * (lru::ShardedLru::splice()). Called by the engine at decision
+     * boundaries; a no-op without parallel_merge.
+     */
+    void splice_recency();
 
     /** Ownership slice of a page: block-cyclic over kNumSlices. */
     static unsigned
@@ -143,25 +233,92 @@ class ShardedAccessEngine
     /** Configured shard count. */
     unsigned shards() const { return shards_; }
 
+    /** True when phase 2 runs the per-lane parallel merge. */
+    bool parallel_merge() const { return parallel_; }
+
     /** Batches processed so far. */
     std::uint64_t batches() const { return batches_; }
 
     /** Batches that fell back to the legacy tail mid-way. */
     std::uint64_t legacy_tails() const { return legacy_tails_; }
 
+    /** Batches merged by the serial epoch walk (every batch when
+     *  parallel_merge is off; special-containing batches otherwise). */
+    std::uint64_t serial_merges() const { return serial_merges_; }
+
+    /** All-plain batches merged by the per-lane parallel fold. */
+    std::uint64_t parallel_merges() const { return parallel_merges_; }
+
+    /**
+     * Boundary merges performed (merge_boundary() calls). Doubles as
+     * the ownership-map epoch in partition panics: the map is fixed at
+     * construction, so the epoch dates how long it has been live.
+     */
+    std::uint64_t merge_epochs() const { return merge_epochs_; }
+
+    /** Global access sequence number of the next access processed. */
+    std::uint64_t next_seq() const { return next_seq_; }
+
+    /** Accesses merged via the parallel fold (audited). */
+    std::uint64_t parallel_accesses() const { return parallel_accesses_; }
+
+    /**
+     * Authoritative latency charged by parallel-merged batches,
+     * recomputed independently of the lane accumulators (from the
+     * timebase scan under faults, from per-tier counts × latencies
+     * otherwise). The kShardPartition audit reconciles the cumulative
+     * per-lane accumulators against this.
+     */
+    SimTimeNs parallel_charged_ns() const { return parallel_charged_ns_; }
+
+    /** Cumulative accesses folded from lane @p s (audited). */
+    std::uint64_t lane_folded_accesses(unsigned s) const
+    {
+        return lanes_[s].folded_accesses;
+    }
+
+    /** Cumulative latency folded from lane @p s (audited). */
+    SimTimeNs lane_folded_latency_ns(unsigned s) const
+    {
+        return lanes_[s].folded_lat_ns;
+    }
+
+    /** Lane @p s records awaiting the next boundary merge (audited). */
+    const std::vector<PendingSample>& lane_pending(unsigned s) const
+    {
+        return lanes_[s].pending;
+    }
+
+    /** Records awaiting the next boundary merge, across all lanes. */
+    std::uint64_t pending_samples() const;
+
+    /**
+     * Per-shard LRU segments + merged recency view; null without
+     * parallel_merge. Engine-internal state (no policy consumes it
+     * yet), audited by the kShardPartition invariant.
+     */
+    const lru::ShardedLru* recency() const { return recency_.get(); }
+
     /** Phase-1 self-check samples performed across all lanes. */
     std::uint64_t audited_accesses() const;
 
   private:
+    /** Test-only back door: seeds deliberate state corruption so the
+     *  kShardPartition detection paths can be exercised
+     *  (tests/test_verify.cpp, tests/test_sharded.cpp). Never defined
+     *  in the library. */
+    friend struct ShardedEngineTestPeer;
+
     /** Packed lane-entry codes (low 2 bits; high 30 = batch index). */
     static constexpr std::uint32_t kCodeFast = 0;     // plain, fast tier
     static constexpr std::uint32_t kCodeSlow = 1;     // plain, slow tier
     static constexpr std::uint32_t kCodeSpecial = 2;  // replay access_step
 
     /**
-     * Per-shard scan output. Cache-line aligned so concurrent workers
-     * never write the same line; entries are naturally sorted by batch
-     * index because each worker scans the batch front to back.
+     * Per-shard scan output and parallel-merge accumulators.
+     * Cache-line aligned so concurrent workers never write the same
+     * line; entries are naturally sorted by batch index because each
+     * worker scans the batch front to back.
      */
     struct alignas(64) Lane {
         std::vector<std::uint32_t> entries;
@@ -169,12 +326,46 @@ class ShardedAccessEngine
         /** Private audit stream; never feeds simulation output. */
         Rng rng;
         std::uint64_t audited = 0;
+        /** Set by scan_lane when it classified any special access. */
+        bool saw_special = false;
+        // --- per-batch parallel-merge accumulators (phase 2b) -------
+        SimTimeNs lat_ns = 0;            ///< Private latency sum.
+        std::uint64_t acc[kTierCount] = {0, 0};
+        std::uint64_t idx_sum = 0;       ///< Partition checksum input.
+        std::vector<std::uint64_t> tenant_acc;  ///< [tenant*2+t].
+        // --- cross-batch parallel-merge state -----------------------
+        /** Per-shard sampler stream awaiting the boundary merge;
+         *  sorted by seq (appended in batch order). */
+        std::vector<PendingSample> pending;
+        std::size_t merge_cursor = 0;
+        /** Cumulative folded totals, reconciled by kShardPartition. */
+        std::uint64_t folded_accesses = 0;
+        SimTimeNs folded_lat_ns = 0;
     };
 
     /** Phase 1 for one shard: classify owned pages, set accessed bits. */
     void scan_lane(unsigned lane, const PageId* pages, std::size_t n);
 
-    /** Phase 1 fan-out + phase 2 serial epoch merge. */
+    /** Phase-1 fan-out + barrier. */
+    void scan_phase(const PageId* pages, std::size_t n);
+
+    /** Serial epoch merge (oracle path; file header). */
+    template <bool kFaulted>
+    void merge_serial(const PageId* pages, std::size_t n,
+                      PebsSampler& sampler, std::uint64_t* pebs_suppressed);
+
+    /** Parallel phase-2 merge for an all-plain batch (file header). */
+    template <bool kFaulted>
+    void merge_parallel(const PageId* pages, std::size_t n,
+                        PebsSampler& sampler,
+                        std::uint64_t* pebs_suppressed);
+
+    /** Phase 2b: one lane's private walk of its owned accesses. */
+    template <bool kFaulted>
+    void walk_lane(unsigned lane, const PageId* pages,
+                   PebsSampler::RecordPlan plan);
+
+    /** Dispatch between the serial and parallel merges. */
     template <bool kFaulted>
     void process_impl(const PageId* pages, std::size_t n,
                       PebsSampler& sampler, std::uint64_t* pebs_suppressed);
@@ -185,13 +376,34 @@ class ShardedAccessEngine
     TieredMachine& machine_;
     const unsigned shards_;
     const bool audit_;
+    const bool parallel_;
     std::uint8_t slice_owner_[kNumSlices];
     std::vector<Lane> lanes_;
     /** Workers for shards 1..N-1; null when shards_ == 1. Shard 0
      *  always scans on the calling thread. */
     std::unique_ptr<ThreadPool> pool_;
+    /** Per-shard LRU segments over owned slices; null unless
+     *  parallel_. */
+    std::unique_ptr<lru::ShardedLru> recency_;
+    /** Test-only lane scheduling hook (Config::lane_delay_hook). */
+    std::function<void(unsigned)> delay_hook_;
+    // --- parallel-merge batch scratch (indexed by batch offset) -----
+    /** True while scan_lane must mirror codes into codes_ (faulted
+     *  parallel batches feed the timebase scan from it). */
+    bool record_codes_ = false;
+    std::vector<std::uint8_t> codes_;
+    std::vector<SimTimeNs> charges_;
+    std::vector<std::uint8_t> record_flags_;
+    /** Clock value after the faulted timebase scan (phase 2a). */
+    SimTimeNs faulted_end_now_ = 0;
     std::uint64_t batches_ = 0;
     std::uint64_t legacy_tails_ = 0;
+    std::uint64_t serial_merges_ = 0;
+    std::uint64_t parallel_merges_ = 0;
+    std::uint64_t merge_epochs_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t parallel_accesses_ = 0;
+    SimTimeNs parallel_charged_ns_ = 0;
 };
 
 }  // namespace artmem::memsim

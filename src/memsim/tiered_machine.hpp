@@ -604,9 +604,13 @@ class TieredMachine
 
     /** The sharded access engine (memsim/sharded_access.hpp) is the
      *  machine's parallel front end: its ownership scan writes owned
-     *  pages' flag bytes and its serial epoch walk replays the exact
-     *  access_step() sequence, so it needs the same view of the flag
-     *  word and counters the batch loop has. */
+     *  pages' flag bytes, its serial epoch walk replays the exact
+     *  access_step() sequence, and its parallel per-lane merge charges
+     *  each lane's latency into a private accumulator before folding
+     *  the lanes into these counters in fixed shard order at batch and
+     *  decision boundaries — so it needs the same view of the flag
+     *  word, clock, and counters the batch loop has. Either path is
+     *  byte-identical to the unsharded loop. */
     friend class ShardedAccessEngine;
 
     static constexpr std::uint8_t kTierBit = 0x1;       // 0 fast, 1 slow

@@ -79,7 +79,8 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
         sharded = std::make_unique<memsim::ShardedAccessEngine>(
             machine, memsim::ShardedAccessEngine::Config{
                          config.shards, config.shard_seed,
-                         config.check_invariants});
+                         config.check_invariants, config.parallel_merge,
+                         config.lane_delay_hook});
     }
 
 #if ARTMEM_CHECK_INVARIANTS
@@ -105,6 +106,15 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
     std::uint64_t interval_start_accesses = 0;
 
     auto flush_tick = [&]() {
+        // Publish the per-shard sampler streams into the ring in global
+        // access order BEFORE draining, so the ring's cumulative push
+        // sequence at this drain point matches the serial path's
+        // (identical records and identical full-buffer drops).
+        if (sharded != nullptr) {
+            telemetry::PhaseTimer merge_timer(
+                profiler, telemetry::Phase::kShardMerge);
+            sharded->merge_boundary(sampler);
+        }
         telemetry::PhaseTimer timer(profiler, telemetry::Phase::kTick);
         if (sink != nullptr)
             sink->set_sim_time(machine.now());
@@ -140,6 +150,15 @@ run_simulation(workloads::AccessGenerator& gen, policies::Policy& policy,
     };
 
     auto flush_decision = [&]() {
+        // Decision-boundary shard merge: flush pending per-shard sampler
+        // records (so the audit below sees a merged stream) and splice
+        // the per-shard LRU segments into the merged recency view.
+        if (sharded != nullptr) {
+            telemetry::PhaseTimer merge_timer(
+                profiler, telemetry::Phase::kShardMerge);
+            sharded->merge_boundary(sampler);
+            sharded->splice_recency();
+        }
         if (sink != nullptr)
             sink->set_sim_time(machine.now());
         const SimTimeNs decision_start = machine.now();

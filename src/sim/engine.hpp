@@ -13,6 +13,7 @@
 #ifndef ARTMEM_SIM_ENGINE_HPP
 #define ARTMEM_SIM_ENGINE_HPP
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -56,6 +57,23 @@ struct EngineConfig {
      * collide with sweep-job seeds (util/rng.hpp).
      */
     std::uint64_t shard_seed = 0;
+    /**
+     * Run phase 2 of all-plain sharded batches as per-lane parallel
+     * work with a deterministic decision-boundary merge (per-lane
+     * latency accumulators, per-shard PEBS streams, per-shard LRU
+     * segments; memsim/sharded_access.hpp). Meaningful only when
+     * shards > 0. Byte-identical to the serial epoch merge — and to
+     * shards = 0 — for every shard count, policy, tx mode, and fault
+     * scenario; false keeps the serial merge as the oracle/escape
+     * hatch (--merge=serial).
+     */
+    bool parallel_merge = true;
+    /**
+     * Test-only lane scheduling hook, forwarded to
+     * ShardedAccessEngine::Config::lane_delay_hook (tests force lane
+     * completion orders with it). Must not touch simulation state.
+     */
+    std::function<void(unsigned)> lane_delay_hook = nullptr;
     /** Record a per-interval timeline (Figures 12 and 17). */
     bool record_timeline = false;
     /**

@@ -24,9 +24,10 @@ enum class Phase : std::uint8_t {
     kTick,      ///< Sampler drain + policy on_samples/on_tick.
     kDecision,  ///< Policy on_interval + window bookkeeping.
     kAudit,     ///< Invariant checker sweeps.
+    kShardMerge,  ///< Sharded boundary merge + recency splice.
 };
 
-inline constexpr std::size_t kPhaseCount = 5;
+inline constexpr std::size_t kPhaseCount = 6;
 
 std::string_view phase_name(Phase phase);
 

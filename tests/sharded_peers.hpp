@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Test-only corruption back doors for the sharded access pipeline,
+ * shared by tests/test_sharded.cpp and tests/test_verify.cpp (one
+ * definition each — the peers are friends of the production classes,
+ * so the definitions must be the named types, and sharing one header
+ * keeps the two translation units ODR-consistent).
+ */
+#ifndef ARTMEM_TESTS_SHARDED_PEERS_HPP
+#define ARTMEM_TESTS_SHARDED_PEERS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "lru/sharded_lru.hpp"
+#include "memsim/sharded_access.hpp"
+
+namespace artmem::memsim {
+
+/** Friend of ShardedAccessEngine: seeds deliberate lane-state
+ *  corruption so panic/audit detection paths can be exercised. */
+struct ShardedEngineTestPeer {
+    /** Lane @p lane's phase-1 scan output (mutable). */
+    static std::vector<std::uint32_t>&
+    entries(ShardedAccessEngine& engine, unsigned lane)
+    {
+        return engine.lanes_[lane].entries;
+    }
+
+    /** Lane @p lane's cumulative folded latency (mutable). */
+    static SimTimeNs&
+    folded_lat_ns(ShardedAccessEngine& engine, unsigned lane)
+    {
+        return engine.lanes_[lane].folded_lat_ns;
+    }
+
+    /** Lane @p lane's cumulative folded access count (mutable). */
+    static std::uint64_t&
+    folded_accesses(ShardedAccessEngine& engine, unsigned lane)
+    {
+        return engine.lanes_[lane].folded_accesses;
+    }
+
+    /** Lane @p lane's pending sampler records (mutable). */
+    static std::vector<ShardedAccessEngine::PendingSample>&
+    pending(ShardedAccessEngine& engine, unsigned lane)
+    {
+        return engine.lanes_[lane].pending;
+    }
+
+    /** The engine's recency view (mutable; parallel merge only). */
+    static lru::ShardedLru&
+    recency(ShardedAccessEngine& engine)
+    {
+        return *engine.recency_;
+    }
+};
+
+}  // namespace artmem::memsim
+
+namespace artmem::lru {
+
+/** Friend of ShardedLru: reach the private segments and stamps. */
+struct ShardedLruTestPeer {
+    static LruLists&
+    segment(ShardedLru& sharded, unsigned shard)
+    {
+        return sharded.segments_[shard];
+    }
+
+    static std::vector<std::uint64_t>&
+    stamps(ShardedLru& sharded)
+    {
+        return sharded.stamp_;
+    }
+};
+
+}  // namespace artmem::lru
+
+#endif  // ARTMEM_TESTS_SHARDED_PEERS_HPP

@@ -18,18 +18,32 @@
  *     transactional abort storms;
  *  4. verification — the cross-shard partition/census invariant passes
  *     on live machines and the randomized phase-1 self-checks actually
- *     sample.
+ *     sample;
+ *  5. parallel merge — phase 2 of all-plain batches run as per-lane
+ *     parallel work (per-lane latency accumulators, per-shard PEBS
+ *     streams, per-shard LRU segments) merged deterministically at
+ *     batch/decision boundaries is byte-identical to the serial epoch
+ *     merge, for every forced lane completion order (the
+ *     lane_delay_hook permutation tests, run under TSan by
+ *     scripts/check_sanitizers.sh), and the ShardedLru splice
+ *     reproduces a serially touched LruLists oracle exactly;
+ *  6. diagnostics — an ownership-partition panic names the page,
+ *     slice, shard count, and ownership-map epoch (death test).
  */
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "memsim/fault_injector.hpp"
 #include "memsim/pebs.hpp"
 #include "memsim/sharded_access.hpp"
 #include "memsim/tiered_machine.hpp"
+#include "sharded_peers.hpp"
 #include "sim/experiment.hpp"
 #include "util/rng.hpp"
 #include "verify/invariant_checker.hpp"
@@ -188,15 +202,20 @@ TEST(ShardedAccess, RunResultsInvariantAcrossShardCountsAndPolicies)
     // shards=0 is the legacy unsharded loop; 1 the single-lane sharded
     // pipeline; 3 does not divide the 64 slices evenly; 8 the paper's
     // "one shard per core" shape. tpp installs a trap handler that
-    // migrates mid-batch, driving the legacy-tail path hard.
+    // migrates mid-batch, driving the legacy-tail path hard. Both merge
+    // flavours must match the unsharded baseline for every count.
     for (const char* policy : {"artmem", "tpp", "memtis", "autotiering"}) {
         SCOPED_TRACE(policy);
         const auto baseline = sim::run_experiment(base_spec("ycsb", policy));
         for (const unsigned shards : {1u, 2u, 3u, 8u}) {
-            SCOPED_TRACE(shards);
-            auto spec = base_spec("ycsb", policy);
-            spec.engine.shards = shards;
-            expect_results_equal(baseline, sim::run_experiment(spec));
+            for (const bool parallel : {false, true}) {
+                SCOPED_TRACE(shards);
+                SCOPED_TRACE(parallel ? "parallel" : "serial");
+                auto spec = base_spec("ycsb", policy);
+                spec.engine.shards = shards;
+                spec.engine.parallel_merge = parallel;
+                expect_results_equal(baseline, sim::run_experiment(spec));
+            }
         }
     }
 }
@@ -211,18 +230,268 @@ TEST(ShardedAccess, RunResultsInvariantUnderFaultsAndTxAbortStorm)
     ASSERT_GT(baseline.totals.tx_opened, 0u);
     ASSERT_GT(baseline.totals.tx_aborted, 0u);
     for (const unsigned shards : {1u, 4u}) {
-        SCOPED_TRACE(shards);
-        auto spec = storm;
-        spec.engine.shards = shards;
-        expect_results_equal(baseline, sim::run_experiment(spec));
+        for (const bool parallel : {false, true}) {
+            SCOPED_TRACE(shards);
+            SCOPED_TRACE(parallel ? "parallel" : "serial");
+            auto spec = storm;
+            spec.engine.shards = shards;
+            spec.engine.parallel_merge = parallel;
+            expect_results_equal(baseline, sim::run_experiment(spec));
+        }
     }
 
     auto blackout = base_spec("ycsb", "tpp");
     blackout.engine.faults = memsim::make_fault_scenario("blackout", 7);
     const auto blk = sim::run_experiment(blackout);
     ASSERT_GT(blk.pebs_suppressed, 0u);
-    blackout.engine.shards = 5;
-    expect_results_equal(blk, sim::run_experiment(blackout));
+    for (const bool parallel : {false, true}) {
+        SCOPED_TRACE(parallel ? "parallel" : "serial");
+        auto spec = blackout;
+        spec.engine.shards = 5;
+        spec.engine.parallel_merge = parallel;
+        expect_results_equal(blk, sim::run_experiment(spec));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel merge: direct engine lockstep + merge-order determinism.
+// ---------------------------------------------------------------------
+
+MachineConfig
+small_machine_config(std::size_t pages)
+{
+    MachineConfig cfg;
+    cfg.page_size = 2ull << 20;
+    cfg.address_space = pages * cfg.page_size;
+    cfg.tiers[0].capacity = (pages / 4) * cfg.page_size;
+    cfg.tiers[1].capacity = pages * cfg.page_size;
+    return cfg;
+}
+
+TEST(ShardedAccess, ParallelMergeMatchesSerialStreamAndClock)
+{
+    // Two sharded engines over twin machines, one per merge flavour,
+    // fed identical batches. After every simulated boundary the
+    // parallel engine's published sampler stream, clock, and counters
+    // must equal the serial oracle's exactly.
+    const std::size_t pages = 1024;
+    TieredMachine serial_machine(small_machine_config(pages));
+    TieredMachine parallel_machine(small_machine_config(pages));
+    serial_machine.prefault_range(0, pages);
+    parallel_machine.prefault_range(0, pages);
+
+    ShardedAccessEngine serial_engine(
+        serial_machine, {.shards = 4, .seed = 1, .audit = true});
+    ShardedAccessEngine parallel_engine(parallel_machine,
+                                        {.shards = 4,
+                                         .seed = 1,
+                                         .audit = true,
+                                         .parallel_merge = true});
+    PebsSampler serial_sampler({.period = 7, .buffer_capacity = 1 << 8});
+    PebsSampler parallel_sampler({.period = 7, .buffer_capacity = 1 << 8});
+
+    Rng stream(11);
+    std::vector<PageId> batch;
+    std::vector<memsim::PebsSample> serial_drained;
+    std::vector<memsim::PebsSample> parallel_drained;
+    for (int round = 0; round < 64; ++round) {
+        batch.clear();
+        for (int i = 0; i < 512; ++i)
+            batch.push_back(static_cast<PageId>(stream.next_below(pages)));
+        serial_engine.process(batch.data(), batch.size(), serial_sampler);
+        parallel_engine.process(batch.data(), batch.size(),
+                                parallel_sampler);
+        ASSERT_EQ(parallel_machine.now(), serial_machine.now())
+            << "round " << round;
+        if (round % 8 == 7) {
+            // Simulated tick boundary: publish pending per-shard
+            // records, then both streams must drain identically.
+            parallel_engine.merge_boundary(parallel_sampler);
+            ASSERT_EQ(parallel_sampler.recorded(),
+                      serial_sampler.recorded());
+            ASSERT_EQ(parallel_sampler.dropped(),
+                      serial_sampler.dropped());
+            ASSERT_EQ(parallel_sampler.countdown(),
+                      serial_sampler.countdown());
+            serial_drained.clear();
+            parallel_drained.clear();
+            serial_sampler.drain(serial_drained,
+                                 static_cast<std::size_t>(-1));
+            parallel_sampler.drain(parallel_drained,
+                                   static_cast<std::size_t>(-1));
+            ASSERT_EQ(parallel_drained.size(), serial_drained.size());
+            for (std::size_t i = 0; i < serial_drained.size(); ++i) {
+                ASSERT_EQ(parallel_drained[i].page,
+                          serial_drained[i].page)
+                    << "record " << i;
+                ASSERT_EQ(parallel_drained[i].tier,
+                          serial_drained[i].tier)
+                    << "record " << i;
+            }
+            parallel_engine.splice_recency();
+            const auto examined =
+                verify::InvariantChecker::check_shard_partition(
+                    parallel_machine, parallel_engine);
+            ASSERT_GT(examined, 0u);
+        }
+    }
+    // Every batch was all-plain (prefaulted, no traps), so the parallel
+    // engine must actually have exercised the parallel fold.
+    EXPECT_GT(parallel_engine.parallel_merges(), 0u);
+    EXPECT_EQ(parallel_engine.serial_merges(), 0u);
+    EXPECT_EQ(serial_engine.parallel_merges(), 0u);
+    EXPECT_GT(parallel_engine.parallel_accesses(), 0u);
+    const auto& st = serial_machine.totals();
+    const auto& pt = parallel_machine.totals();
+    EXPECT_EQ(pt.accesses[0], st.accesses[0]);
+    EXPECT_EQ(pt.accesses[1], st.accesses[1]);
+    // The recency view exists only on the parallel engine and holds
+    // one segment entry per touched page.
+    ASSERT_NE(parallel_engine.recency(), nullptr);
+    EXPECT_EQ(serial_engine.recency(), nullptr);
+    EXPECT_GT(parallel_engine.recency()->touches(), 0u);
+}
+
+/**
+ * Gate used by the lane-permutation tests: lanes entering a phase spin
+ * (yielding, no wall clock — the determinism lint bans sleeps) until
+ * the global turn counter reaches their configured rank, so the four
+ * lanes of every phase complete in exactly the forced order.
+ */
+std::function<void(unsigned)>
+make_permutation_hook(std::shared_ptr<std::atomic<std::uint64_t>> turn,
+                      std::array<unsigned, 4> rank)
+{
+    return [turn = std::move(turn), rank](unsigned v) {
+        constexpr unsigned kShards = 4;
+        if (v < kShards) {
+            while (turn->load(std::memory_order_acquire) % kShards !=
+                   rank[v])
+                std::this_thread::yield();
+        } else {
+            turn->fetch_add(1, std::memory_order_release);
+        }
+    };
+}
+
+TEST(ShardedAccess, ParallelMergeIsLaneCompletionOrderInvariant)
+{
+    // Force every lane completion order the scheduler could produce
+    // (identity, reversal, rotation, interleave) and require the full
+    // run result — clock, counters, timeline, PEBS accounting — to be
+    // byte-equal to the un-hooked run. scripts/check_sanitizers.sh
+    // runs this suite under TSan, so a data race in the lane fan-out
+    // fails CI even if it never perturbs output on this host.
+    auto spec = base_spec("ycsb", "memtis");
+    spec.accesses = 60000;
+    spec.engine.shards = 4;
+    spec.engine.parallel_merge = true;
+    const auto baseline = sim::run_experiment(spec);
+
+    const std::array<std::array<unsigned, 4>, 4> orders = {{
+        {0u, 1u, 2u, 3u},
+        {3u, 2u, 1u, 0u},
+        {1u, 2u, 3u, 0u},
+        {2u, 0u, 3u, 1u},
+    }};
+    for (const auto& rank : orders) {
+        SCOPED_TRACE(::testing::Message()
+                     << "order " << rank[0] << rank[1] << rank[2]
+                     << rank[3]);
+        auto forced = spec;
+        forced.engine.lane_delay_hook = make_permutation_hook(
+            std::make_shared<std::atomic<std::uint64_t>>(0), rank);
+        expect_results_equal(baseline, sim::run_experiment(forced));
+    }
+}
+
+// ---------------------------------------------------------------------
+// ShardedLru: splice vs serially touched oracle.
+// ---------------------------------------------------------------------
+
+TEST(ShardedLru, SpliceReproducesSeriallyTouchedOracle)
+{
+    // Feed one interleaved touch stream both to per-shard segments
+    // (each touch through its page's owning shard, stamped with the
+    // global sequence number) and to a single serial LruLists. After
+    // every splice the merged view must equal the oracle exactly:
+    // same list membership, same head-to-tail order, same referenced
+    // bits. This is the equivalence theorem in lru/sharded_lru.hpp,
+    // exercised with tier flips standing in for migrations.
+    const std::size_t pages = 2048;
+    const unsigned shards = 4;
+    lru::ShardedLru sharded(pages, shards);
+    lru::LruLists oracle(pages);
+
+    Rng rng(99);
+    std::uint64_t stamp = 0;
+    for (int round = 0; round < 40; ++round) {
+        for (int i = 0; i < 500; ++i) {
+            const auto page = static_cast<PageId>(rng.next_below(pages));
+            const Tier tier =
+                (rng.next() & 7) != 0 ? Tier::kFast : Tier::kSlow;
+            const unsigned shard =
+                ShardedAccessEngine::slice_of(page) % shards;
+            sharded.touch(shard, page, tier, stamp++);
+            oracle.touch(page, tier);
+        }
+        sharded.splice();
+        const lru::LruLists& merged = sharded.merged();
+        for (int l = 0; l < 4; ++l) {
+            const auto list = static_cast<lru::ListId>(l);
+            ASSERT_EQ(merged.size(list), oracle.size(list))
+                << "round " << round << " list " << l;
+            PageId a = merged.head(list);
+            PageId b = oracle.head(list);
+            while (true) {
+                ASSERT_EQ(a, b) << "round " << round << " list " << l;
+                if (a == kInvalidPage)
+                    break;
+                ASSERT_EQ(merged.referenced(a), oracle.referenced(a))
+                    << "page " << a;
+                a = merged.next(a);
+                b = oracle.next(b);
+            }
+        }
+        for (PageId p = 0; p < pages; ++p)
+            ASSERT_EQ(merged.where(p), oracle.where(p)) << "page " << p;
+    }
+    EXPECT_EQ(sharded.touches(), stamp);
+    EXPECT_EQ(sharded.splices(), 40u);
+}
+
+// ---------------------------------------------------------------------
+// Partition panic diagnostics (death test).
+// ---------------------------------------------------------------------
+
+TEST(ShardedAccessDeathTest, PartitionPanicNamesSliceShardsAndEpoch)
+{
+    // Corrupt lane 0's scan output between phase 1 and phase 2 (via
+    // the test scheduling hook, which fires with value lane+shards
+    // after the lane's entries are built) and require the resulting
+    // panic to carry the triage fields: page, slice, owner/shard
+    // count, and the ownership-map epoch.
+    TieredMachine machine(small_machine_config(1024));
+    machine.prefault_range(0, 1024);
+    ShardedAccessEngine* engine_ptr = nullptr;
+    ShardedAccessEngine::Config config;
+    config.shards = 1;
+    config.lane_delay_hook = [&engine_ptr](unsigned v) {
+        if (v == 1 && engine_ptr != nullptr) {
+            auto& entries =
+                memsim::ShardedEngineTestPeer::entries(*engine_ptr, 0);
+            if (!entries.empty())
+                entries[0] += 1u << 2;  // shift the packed batch index
+        }
+    };
+    ShardedAccessEngine engine(machine, config);
+    engine_ptr = &engine;
+    PebsSampler sampler({.period = 7, .buffer_capacity = 1 << 8});
+    std::vector<PageId> batch(64);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        batch[i] = static_cast<PageId>(i);
+    EXPECT_DEATH(engine.process(batch.data(), batch.size(), sampler),
+                 "slice .* of 1 shards.*ownership-map epoch");
 }
 
 // ---------------------------------------------------------------------

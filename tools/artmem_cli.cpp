@@ -70,6 +70,17 @@ parse_spec(const CliArgs& args)
     // pipeline. Byte-identical output for every value (DESIGN.md §12).
     spec.engine.shards =
         static_cast<unsigned>(args.get_int("shards", 0));
+    // Phase-2 merge flavour for sharded runs: "parallel" (default)
+    // runs per-lane accumulators with a deterministic fold,
+    // "serial" keeps the serial epoch walk as the oracle/escape
+    // hatch. Byte-identical either way (CI diffs them).
+    const std::string merge = args.get_string("merge", "parallel");
+    if (merge == "parallel")
+        spec.engine.parallel_merge = true;
+    else if (merge == "serial")
+        spec.engine.parallel_merge = false;
+    else
+        fatal("--merge must be 'parallel' or 'serial', got '", merge, "'");
 
     // Fault model: a built-in scenario or a fault.* config file.
     const std::string scenario = args.get_string("fault-scenario", "");
@@ -398,6 +409,7 @@ cmd_trace_run(const CliArgs& args)
     sim::EngineConfig engine;
     engine.tx = spec.engine.tx;
     engine.shards = spec.engine.shards;
+    engine.parallel_merge = spec.engine.parallel_merge;
     if (engine.shards > 0)
         engine.shard_seed = spec.seed;
     const auto r = sim::run_simulation(replay, *policy, machine, engine);
@@ -423,6 +435,9 @@ main(int argc, char** argv)
                "per-job seed streams)\n"
                "       --shards=N (shard the access hot path across N "
                "threads; byte-identical for every N, like --jobs)\n"
+               "       --merge=<parallel|serial> (phase-2 merge for "
+               "sharded runs; parallel is default, serial is the "
+               "oracle; byte-identical either way)\n"
                "       --fault-scenario=<none|migration|degrade|blackout|"
                "pressure|abort_storm> --fault-config=<file> --fault-seed=N\n"
                "       --tx-migration (transactional copy-then-commit "
